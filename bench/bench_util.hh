@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches: scale selection
+ * (BVL_SCALE=tiny|small|medium), row printing, and the workload lists
+ * of the paper's evaluation (Tables IV/V + Ligra suite).
+ */
+
+#ifndef BVL_BENCH_BENCH_UTIL_HH
+#define BVL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "soc/run_driver.hh"
+
+namespace bvlbench
+{
+
+using namespace bvl;
+
+inline Scale
+chosenScale(Scale fallback)
+{
+    const char *env = std::getenv("BVL_SCALE");
+    if (!env)
+        return fallback;
+    if (!std::strcmp(env, "tiny"))
+        return Scale::tiny;
+    if (!std::strcmp(env, "small"))
+        return Scale::small;
+    if (!std::strcmp(env, "medium"))
+        return Scale::medium;
+    fatal("BVL_SCALE must be tiny|small|medium");
+}
+
+inline const char *
+scaleName(Scale s)
+{
+    switch (s) {
+      case Scale::tiny: return "tiny";
+      case Scale::small: return "small";
+      case Scale::medium: return "medium";
+    }
+    return "?";
+}
+
+inline std::vector<std::string>
+dataParallelNames()
+{
+    return {"vvadd", "mmult", "saxpy", "backprop", "kmeans",
+            "blackscholes", "particlefilter", "jacobi-2d", "pathfinder",
+            "lavamd", "sw"};
+}
+
+inline std::vector<std::string>
+taskParallelNames()
+{
+    return {"bfs", "bc", "tc", "radii", "components", "pagerank",
+            "mis", "kcore"};
+}
+
+/** Run and insist on a finished, verified result. */
+inline RunResult
+runChecked(Design d, const std::string &name, Scale scale,
+           RunOptions opts = {})
+{
+    auto r = runWorkload(d, name, scale, opts);
+    if (!r.finished)
+        warn("%s on %s did not finish within the time limit",
+             name.c_str(), designName(d));
+    else if (opts.verifyResult && !r.verified)
+        warn("%s on %s produced wrong results", name.c_str(),
+             designName(d));
+    return r;
+}
+
+inline void
+printHeader(const char *title, Scale scale)
+{
+    std::printf("# %s\n# scale=%s (set BVL_SCALE=tiny|small|medium)\n",
+                title, scaleName(scale));
+}
+
+} // namespace bvlbench
+
+#endif // BVL_BENCH_BENCH_UTIL_HH

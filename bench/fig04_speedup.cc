@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 4: speedup over 1L of all seven systems, for the 8
+ * task-parallel (Ligra) and 11 data-parallel (kernels + apps)
+ * workloads. The paper's headline numbers are the geometric means:
+ * 1b-4VL ~1.6x over 1bIV-4L on data-parallel work and 1bIV-4L/1b-4VL
+ * ~1.7x over 1bDV on task-parallel work.
+ */
+
+#include <cmath>
+
+#include "bench/bench_util.hh"
+
+using namespace bvlbench;
+
+namespace
+{
+
+void
+runSuite(const char *label, const std::vector<std::string> &names,
+         Scale scale)
+{
+    const Design designs[] = {Design::d1b, Design::d1bIV, Design::d1b4L,
+                              Design::d1bIV4L, Design::d1bDV,
+                              Design::d1b4VL};
+
+    std::printf("\n[%s]\n", label);
+    std::printf("%-14s", "workload");
+    std::printf(" %8s", "1L");
+    for (Design d : designs)
+        std::printf(" %8s", designName(d));
+    std::printf("\n");
+
+    std::vector<double> logsum(6, 0.0);
+    for (const auto &name : names) {
+        double base = runChecked(Design::d1L, name, scale).ns;
+        std::printf("%-14s %8.2f", name.c_str(), 1.0);
+        unsigned i = 0;
+        for (Design d : designs) {
+            double t = runChecked(d, name, scale).ns;
+            double speedup = base / t;
+            logsum[i++] += std::log(speedup);
+            std::printf(" %8.2f", speedup);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("%-14s %8.2f", "geomean", 1.0);
+    for (unsigned i = 0; i < 6; ++i)
+        std::printf(" %8.2f", std::exp(logsum[i] / names.size()));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    Scale scale = chosenScale(Scale::small);
+    printHeader("Figure 4: speedup over 1L", scale);
+    runSuite("task-parallel (Ligra)", taskParallelNames(), scale);
+    runSuite("data-parallel (kernels + apps)", dataParallelNames(),
+             scale);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation kernel itself:
+ * event-queue throughput, cache access path, little-core and big-core
+ * simulated cycles per host second. Useful when changing the hot
+ * simulation loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/big_core.hh"
+#include "cpu/little_core.hh"
+#include "mem/mem_system.hh"
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace bvl;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i * 10, [&] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CacheHitPath(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain uncore(eq, "u", 1.0);
+    StatGroup stats;
+    MemSystem sys(uncore, stats);
+    // Warm one line.
+    bool done = false;
+    sys.accessData(0, 0x1000, false, [&] { done = true; });
+    while (!done && eq.step()) {}
+    for (auto _ : state) {
+        bool hit = false;
+        sys.accessData(0, 0x1000, false, [&] { hit = true; });
+        while (!hit && eq.step()) {}
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_CacheHitPath);
+
+ProgramPtr
+loopProgram(int n)
+{
+    Asm a("bench");
+    a.li(xreg(1), 0)
+     .li(xreg(2), n)
+     .label("loop")
+     .addi(xreg(3), xreg(1), 5)
+     .xor_(xreg(4), xreg(3), xreg(1))
+     .addi(xreg(1), xreg(1), 1)
+     .blt(xreg(1), xreg(2), "loop")
+     .halt();
+    return a.finish();
+}
+
+void
+BM_LittleCoreSimSpeed(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain uncore(eq, "u", 1.0), cores(eq, "c", 1.0);
+    StatGroup stats;
+    BackingStore backing;
+    MemSystem sys(uncore, stats);
+    LittleCore little(cores, stats, sys, backing, 0, 512);
+    auto prog = loopProgram(1000);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        bool done = false;
+        Tick start = eq.now();
+        little.runProgram(prog, {}, [&] { done = true; });
+        while (!done && eq.step()) {}
+        cycles += cores.ticksToCycles(eq.now() - start);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LittleCoreSimSpeed);
+
+void
+BM_BigCoreSimSpeed(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain uncore(eq, "u", 1.0), cores(eq, "c", 1.0);
+    StatGroup stats;
+    BackingStore backing;
+    MemSystem sys(uncore, stats);
+    BigCore big(cores, stats, sys, backing, 512);
+    auto prog = loopProgram(1000);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        bool done = false;
+        Tick start = eq.now();
+        big.runProgram(prog, {}, [&] { done = true; });
+        while (!done && eq.step()) {}
+        cycles += cores.ticksToCycles(eq.now() - start);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BigCoreSimSpeed);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table VI: post-synthesis component-level area of a 4-little-core
+ * cluster (4L) vs the equivalent VLITTLE engine (4VL), for both
+ * little-core RTL models, plus the Section-VI first-order Ara-based
+ * estimate of the 1bDV engine's area. Paper result: ~2.4% overhead
+ * with the simple core, ~2.1% with Ariane.
+ */
+
+#include <cstdio>
+
+#include "area/area_model.hh"
+#include "vector/engine_presets.hh"
+
+using namespace bvl;
+
+namespace
+{
+
+void
+printReport(const char *label, const AreaReport &r)
+{
+    std::printf("\n[%s]\n", label);
+    std::printf("  4L baseline:\n");
+    for (const auto &line : r.baseline4L)
+        std::printf("    %-34s %7.1f k um^2 x%u = %8.1f\n",
+                    line.component.c_str(), line.kum2, line.count,
+                    line.total());
+    std::printf("  4VL engine:\n");
+    for (const auto &line : r.cluster4VL)
+        std::printf("    %-34s %7.1f k um^2 x%u = %8.1f\n",
+                    line.component.c_str(), line.kum2, line.count,
+                    line.total());
+    std::printf("  total 4L  = %8.1f k um^2\n", r.total4L);
+    std::printf("  total 4VL = %8.1f k um^2\n", r.total4VL);
+    std::printf("  4VL vs 4L overhead = %.1f%%\n", r.overheadPercent);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Table VI: area of 4L cluster vs 4VL engine "
+                "(12nm post-synthesis model)\n");
+    auto engine = vlittlePreset();
+    printReport("simple little core",
+                computeClusterArea(LittleCoreRtl::simple, engine));
+    printReport("Ariane little core",
+                computeClusterArea(LittleCoreRtl::ariane, engine));
+
+    auto dve = estimateDveArea();
+    std::printf("\n[1bDV first-order estimate (Section VI)]\n");
+    std::printf("  8-lane Ara-class engine   = %7.0f kGE\n",
+                dve.engineKge);
+    std::printf("  4x Ariane + 8x 32KB L1s   = %7.0f kGE\n",
+                dve.cluster4Ariane);
+    std::printf("  cluster/engine area ratio = %7.2f "
+                "(~1.0 means area-comparable)\n", dve.ratio);
+    return 0;
+}

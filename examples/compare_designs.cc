@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Run one workload from the built-in suite on all seven evaluated
+ * systems and print a Figure-4-style speedup row.
+ *
+ *   $ ./example_compare_designs [workload] [tiny|small|medium]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "soc/run_driver.hh"
+
+using namespace bvl;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string name = argc > 1 ? argv[1] : "saxpy";
+    Scale scale = Scale::small;
+    if (argc > 2) {
+        scale = !std::strcmp(argv[2], "tiny") ? Scale::tiny :
+                !std::strcmp(argv[2], "medium") ? Scale::medium
+                                                : Scale::small;
+    }
+
+    auto base = runWorkload(Design::d1L, name, scale);
+    if (!base.finished) {
+        std::fprintf(stderr, "unknown workload or timeout\n");
+        return 1;
+    }
+
+    std::printf("%-10s %12s %10s %10s\n", "design", "time(ns)",
+                "speedup", "verified");
+    std::printf("%-10s %12.0f %10.2f %10s\n", "1L", base.ns, 1.0,
+                base.verified ? "yes" : "NO");
+    for (Design d : {Design::d1b, Design::d1bIV, Design::d1b4L,
+                     Design::d1bIV4L, Design::d1bDV, Design::d1b4VL}) {
+        auto r = runWorkload(d, name, scale);
+        std::printf("%-10s %12.0f %10.2f %10s\n", designName(d), r.ns,
+                    base.ns / r.ns, r.verified ? "yes" : "NO");
+    }
+    return 0;
+}

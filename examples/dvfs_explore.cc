@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Section-VII style design-space exploration for one workload on
+ * big.VLITTLE: sweep the big/little voltage-frequency levels of
+ * Table VII, estimate power, and print the Pareto-optimal points.
+ * Demonstrates the paper's conclusion — slow the big core, boost the
+ * little cluster.
+ *
+ *   $ ./example_dvfs_explore [workload]
+ */
+
+#include <cstdio>
+
+#include "power/power_model.hh"
+#include "soc/run_driver.hh"
+
+using namespace bvl;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string name = argc > 1 ? argv[1] : "blackscholes";
+
+    std::vector<PerfPowerPoint> points;
+    for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+        for (unsigned li = 0; li < littleLevels.size(); ++li) {
+            RunOptions opts;
+            opts.bigGhz = bigLevels[bi].freqGhz;
+            opts.littleGhz = littleLevels[li].freqGhz;
+            auto r = runWorkload(Design::d1b4VL, name, Scale::tiny,
+                                 opts);
+            if (!r.finished)
+                continue;
+            points.push_back({bi, li, r.ns,
+                              systemPowerW(Design::d1b4VL,
+                                           bigLevels[bi],
+                                           littleLevels[li])});
+            std::printf("big=%s little=%s  time=%9.0f ns  power=%.3f W\n",
+                        bigLevels[bi].name, littleLevels[li].name, r.ns,
+                        points.back().watts);
+        }
+    }
+
+    std::printf("\nPareto-optimal points for %s on 1b-4VL:\n",
+                name.c_str());
+    for (const auto &f : paretoFrontier(points))
+        std::printf("  big=%s little=%s  time=%9.0f ns  power=%.3f W\n",
+                    bigLevels[f.bigLevel].name,
+                    littleLevels[f.littleLevel].name, f.ns, f.watts);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Command-line driver: run any suite workload on any design at any
+ * scale and frequency, optionally dumping the full statistics table —
+ * the quickest way to poke at the simulator.
+ *
+ *   $ ./example_run_workload --workload saxpy --design 1b-4VL \
+ *         --scale small --big-ghz 1.0 --little-ghz 1.2 --stats
+ *   $ ./example_run_workload --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "soc/run_driver.hh"
+
+using namespace bvl;
+
+namespace
+{
+
+std::optional<Design>
+parseDesign(const std::string &s)
+{
+    for (Design d : {Design::d1L, Design::d1b, Design::d1bIV,
+                     Design::d1b4L, Design::d1bIV4L, Design::d1bDV,
+                     Design::d1b4VL}) {
+        if (s == designName(d))
+            return d;
+    }
+    return std::nullopt;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME] [--design D] "
+                 "[--scale tiny|small|medium]\n"
+                 "          [--big-ghz F] [--little-ghz F] [--stats] "
+                 "[--no-verify] [--list]\n"
+                 "designs: 1L 1b 1bIV 1b-4L 1bIV-4L 1bDV 1b-4VL\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string workload = "saxpy";
+    Design design = Design::d1b4VL;
+    Scale scale = Scale::small;
+    RunOptions opts;
+    bool dumpStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &n : allWorkloadNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--design") {
+            auto d = parseDesign(next());
+            if (!d) {
+                usage(argv[0]);
+                return 1;
+            }
+            design = *d;
+        } else if (arg == "--scale") {
+            std::string s = next();
+            scale = s == "tiny" ? Scale::tiny :
+                    s == "medium" ? Scale::medium : Scale::small;
+        } else if (arg == "--big-ghz") {
+            opts.bigGhz = std::atof(next());
+        } else if (arg == "--little-ghz") {
+            opts.littleGhz = std::atof(next());
+        } else if (arg == "--stats") {
+            dumpStats = true;
+        } else if (arg == "--no-verify") {
+            opts.verifyResult = false;
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    auto w = makeWorkload(workload, scale);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    auto r = runWorkload(design, *w, opts);
+    std::printf("workload  %s (%s)\n", r.workload.c_str(),
+                w->isDataParallel() ? "data-parallel" : "task-parallel");
+    std::printf("design    %s  (big %.1f GHz, little %.1f GHz)\n",
+                r.design.c_str(), opts.bigGhz, opts.littleGhz);
+    std::printf("time      %.0f ns %s\n", r.ns,
+                r.finished ? "" : "(TIMED OUT)");
+    if (opts.verifyResult)
+        std::printf("verified  %s\n", r.verified ? "yes" : "NO");
+    std::printf("ifetch    %llu requests\n",
+                (unsigned long long)r.ifetchReqs);
+    std::printf("data reqs %llu requests\n",
+                (unsigned long long)r.dataReqs);
+
+    if (dumpStats) {
+        std::printf("\n-- statistics --\n");
+        for (const auto &kv : r.stats)
+            if (kv.second != 0)
+                std::printf("%-40s %llu\n", kv.first.c_str(),
+                            (unsigned long long)kv.second);
+    }
+    return r.finished && (!opts.verifyResult || r.verified) ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#include "area/area_model.hh"
+
+namespace bvl
+{
+
+AreaReport
+computeClusterArea(LittleCoreRtl rtl, const VEngineParams &engine,
+                   const AreaConstants &c)
+{
+    AreaReport r;
+    double core = rtl == LittleCoreRtl::simple ? c.simpleCore
+                                               : c.arianeCore;
+    const char *coreName = rtl == LittleCoreRtl::simple
+        ? "little core (simple RV64IMAF)"
+        : "little core (Ariane RV64G)";
+    unsigned n = engine.numLanes;
+
+    r.baseline4L = {
+        {coreName, core, n},
+        {"32KB L1I, 64b path", c.l1i32k64b, n},
+        {"32KB L1D, 64b path", c.l1d32k64b, n},
+    };
+
+    // Queue areas scale with configured depth relative to the
+    // reference configuration the constants were synthesized at.
+    auto scale = [](double area, unsigned depth, unsigned refDepth) {
+        return area * static_cast<double>(depth) / refDepth;
+    };
+    r.cluster4VL = {
+        {coreName, core, n},
+        {"32KB L1I, 64b path", c.l1i32k64b, n},
+        {"32KB L1D, 512b path", c.l1d32k512b, n},
+        {"VXU: ring network", c.vxuRing, 1},
+        {"VMU: micro-op & command queues",
+         scale(c.vmuQueues, engine.vmiuQueueDepth, c.refVmiuQueueDepth),
+         1},
+        {"VMU: store-address CAM",
+         scale(c.storeAddrCam, engine.storeCamEntries,
+               c.refStoreCamEntries),
+         1},
+        {"VMU: line buffers", c.lineBuffers, 1},
+        {"VCU: micro-op queue",
+         scale(c.vcuUopQueue, engine.uopQueueDepth, c.refUopQueueDepth),
+         1},
+        {"VCU: data queue",
+         scale(c.vcuDataQueue, engine.dataQueueDepth,
+               c.refDataQueueDepth),
+         1},
+    };
+
+    for (const auto &line : r.baseline4L)
+        r.total4L += line.total();
+    for (const auto &line : r.cluster4VL)
+        r.total4VL += line.total();
+    r.overheadPercent = 100.0 * (r.total4VL - r.total4L) / r.total4L;
+    return r;
+}
+
+DveAreaEstimate
+estimateDveArea(const AreaConstants &c)
+{
+    DveAreaEstimate e;
+    e.engineKge = 8.0 * c.araKgePerLane;
+    // One 32KB L1's area is roughly an Ariane core's (paper Section
+    // VI), so a 4-core cluster with 8 caches is ~12 Ariane-equivalents.
+    double cacheKge = c.arianeKge * (c.l1i32k64b / c.arianeCore);
+    e.cluster4Ariane = 4.0 * c.arianeKge + 8.0 * cacheKge;
+    e.ratio = e.cluster4Ariane / e.engineKge;
+    return e;
+}
+
+} // namespace bvl

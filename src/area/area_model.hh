@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Post-synthesis component-level area model (paper Section VI,
+ * Table VI; 12 nm standard-cell flow). The per-component constants
+ * are the paper's published numbers; totals and the 4L-vs-4VL
+ * overhead are recomputed from the configuration, so queue-size
+ * ablations move the overhead to first order as synthesis would.
+ */
+
+#ifndef BVL_AREA_AREA_MODEL_HH
+#define BVL_AREA_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/vlittle_engine.hh"
+
+namespace bvl
+{
+
+/** Little-core RTL models evaluated in the paper. */
+enum class LittleCoreRtl
+{
+    simple,   ///< in-house single-issue RV64IMAF
+    ariane,   ///< open-source Linux-capable RV64G
+};
+
+/** Component areas in kilo-square-microns (paper Table VI). */
+struct AreaConstants
+{
+    double simpleCore = 26.1;
+    double arianeCore = 41.8;
+    double l1i32k64b = 40.3;     ///< 32KB L1I, 64-bit data path
+    double l1d32k64b = 40.3;     ///< 32KB L1D, 64-bit data path
+    double l1d32k512b = 41.6;    ///< 32KB L1D, 512-bit (vector) path
+    double vxuRing = 0.3;        ///< 64-bit uni-directional ring
+    double vmuQueues = 1.7;      ///< micro-op & command queues
+    double storeAddrCam = 0.8;
+    double lineBuffers = 0.4;
+    double vcuUopQueue = 1.0;
+    double vcuDataQueue = 1.0;
+
+    // Reference design points the queue constants were measured at
+    // (the vlittlePreset configuration).
+    unsigned refVmiuQueueDepth = 16;
+    unsigned refStoreCamEntries = 8;
+    unsigned refUopQueueDepth = 64;
+    unsigned refDataQueueDepth = 8;
+
+    // Ara-referenced first-order estimate of the 1bDV engine.
+    double araKgePerLane = 738.0;
+    double arianeKge = 524.0;
+};
+
+struct AreaLine
+{
+    std::string component;
+    double kum2;        ///< area of one instance (k um^2)
+    unsigned count;
+    double total() const { return kum2 * count; }
+};
+
+struct AreaReport
+{
+    std::vector<AreaLine> baseline4L;
+    std::vector<AreaLine> cluster4VL;
+    double total4L = 0.0;
+    double total4VL = 0.0;
+    /** 4VL vs 4L overhead (paper: ~2.4% simple, ~2.1% Ariane). */
+    double overheadPercent = 0.0;
+};
+
+/**
+ * Compute the Table-VI comparison for the given little-core RTL and
+ * engine configuration (queue areas scale with configured depths).
+ */
+AreaReport computeClusterArea(LittleCoreRtl rtl,
+                              const VEngineParams &engine,
+                              const AreaConstants &c = {});
+
+/**
+ * First-order 1bDV engine area in kGE and the equivalence argument of
+ * Section VI: a 4-Ariane cluster with L1s is about the same size as
+ * an 8-lane Ara-class engine.
+ */
+struct DveAreaEstimate
+{
+    double engineKge = 0.0;        ///< 8 x 64-bit lanes
+    double cluster4Ariane = 0.0;   ///< 4 cores + 8 caches, in kGE
+    double ratio = 0.0;
+};
+
+DveAreaEstimate estimateDveArea(const AreaConstants &c = {});
+
+} // namespace bvl
+
+#endif // BVL_AREA_AREA_MODEL_HH

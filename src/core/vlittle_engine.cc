@@ -1,0 +1,821 @@
+#include "core/vlittle_engine.hh"
+
+#include <algorithm>
+
+namespace bvl
+{
+
+namespace
+{
+
+/** Does the instruction consume a VCU scalar-data queue slot? */
+bool
+needsScalarData(const Instr &in)
+{
+    if (in.vsrc == VSrc2::vx || in.vsrc == VSrc2::vf)
+        return true;
+    if (in.traits().isVecMem)
+        return true;   // base address (and stride)
+    switch (in.op) {
+      case Op::vsetvli:
+      case Op::vmv_s_x:
+      case Op::vfmv_s_f:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+vregIdx(RegId r)
+{
+    return isVReg(r) ? static_cast<int>(regIndex(r)) : -1;
+}
+
+} // namespace
+
+VlittleEngine::VlittleEngine(ClockDomain &cd, StatGroup &sg,
+                             MemSystem &ms, VEngineParams params)
+    : Clocked(cd, params.name), stats(sg), mem(ms), p(std::move(params)),
+      sp(p.name + ".")
+{
+    for (unsigned i = 0; i < p.numLanes; ++i) {
+        lanes.push_back(std::make_unique<VectorLane>(
+            cd, stats, *this, i,
+            p.lanePrefix + std::to_string(i) + ".", p.fu,
+            p.laneUopQueueDepth));
+    }
+    unsigned n_vmsus =
+        p.memPath == VEngineParams::MemPath::bigL1D ? 1 :
+        p.memPath == VEngineParams::MemPath::bankedL1 ? mem.numLittle()
+                                                      : p.numLanes;
+    vmsus.resize(n_vmsus);
+}
+
+unsigned
+VlittleEngine::packFactor(unsigned sew_bytes) const
+{
+    if (!p.packed)
+        return 1;
+    return std::max(1u, 8u / std::max(1u, sew_bytes));
+}
+
+unsigned
+VlittleEngine::elemsPerChime(unsigned sew_bytes) const
+{
+    return p.numLanes * packFactor(sew_bytes);
+}
+
+unsigned
+VlittleEngine::activeChimes(const ExecTrace &trace) const
+{
+    unsigned sew = trace.inst->traits().isVecMem ? trace.inst->ew
+                                                 : std::max<unsigned>(
+                                                       1, trace.sew);
+    unsigned epc = elemsPerChime(sew);
+    unsigned c = (trace.vl + epc - 1) / epc;
+    return std::clamp(c, 1u, p.chimes);
+}
+
+unsigned
+VlittleEngine::laneOfElem(unsigned elem_idx, unsigned sew_bytes) const
+{
+    unsigned epc = elemsPerChime(sew_bytes);
+    unsigned local = elem_idx % epc;
+    return std::min(local / packFactor(sew_bytes), p.numLanes - 1);
+}
+
+// --------------------------------------------------------------------
+// VectorEngine interface
+// --------------------------------------------------------------------
+
+bool
+VlittleEngine::canAccept(const ExecTrace &trace) const
+{
+    if (cmdQueue.size() >= p.cmdQueueDepth)
+        return false;
+    if (needsScalarData(*trace.inst) && dataSlotsUsed >= p.dataQueueDepth)
+        return false;
+    return true;
+}
+
+void
+VlittleEngine::dispatch(const ExecTrace &trace,
+                        std::function<void()> onDone)
+{
+    bvl_assert(canAccept(trace), "%s: dispatch without canAccept",
+               p.name.c_str());
+
+    if (!vectorMode) {
+        vectorMode = true;
+        switchReadyAt = clock().eventQueue().now() +
+                        clock().cyclesToTicks(p.switchPenalty);
+        if (p.controlsL1Mode)
+            mem.setVectorMode(true);
+        stats.stat(sp + "modeSwitches")++;
+    }
+
+    auto vi = std::make_shared<VInstr>();
+    vi->vseq = nextVseq++;
+    vi->trace = trace;
+    vi->onDone = std::move(onDone);
+    vi->needsDataSlot = needsScalarData(*trace.inst);
+    if (vi->needsDataSlot)
+        ++dataSlotsUsed;
+
+    cmdQueue.push_back(vi);
+    inflight[vi->vseq] = vi;
+    stats.stat(sp + "dispatched")++;
+    activate();
+}
+
+bool
+VlittleEngine::idle() const
+{
+    return cmdQueue.empty() && inflight.empty();
+}
+
+void
+VlittleEngine::exitVectorMode()
+{
+    bvl_assert(idle(), "%s: exitVectorMode while busy", p.name.c_str());
+    if (!vectorMode)
+        return;
+    vectorMode = false;
+    if (p.controlsL1Mode)
+        mem.setVectorMode(false);
+    for (auto &lane : lanes)
+        lane->reset();
+}
+
+// --------------------------------------------------------------------
+// Cracking
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::crack(VInstr &vi)
+{
+    const Instr &in = *vi.trace.inst;
+    const auto &tr = vi.trace;
+    unsigned sew = in.traits().isVecMem ? in.ew
+                                        : std::max<unsigned>(1, tr.sew);
+    unsigned pf = packFactor(sew);
+    unsigned chimeCount = activeChimes(tr);
+
+    auto addBroadcast = [&](UopKind kind, unsigned chime, int vd, int vs1,
+                            int vs2, int vs3, FuClass fuc) {
+        VUop uop;
+        uop.vseq = vi.vseq;
+        uop.kind = kind;
+        uop.op = in.op;
+        uop.fu = fuc;
+        uop.chime = chime;
+        uop.vd = vd;
+        uop.vs1 = vs1;
+        uop.vs2 = vs2;
+        uop.vs3 = vs3;
+        uop.masked = in.masked;
+        uop.packFactor = pf;
+        uop.serialized = true;
+        uop.reduceElems = tr.vl;
+        vi.plan.push_back(uop);
+        vi.planTarget.push_back(-1);
+        vi.lanePending += p.numLanes;
+    };
+    auto addSingle = [&](UopKind kind, unsigned chime, int vd, int vs1,
+                         FuClass fuc, unsigned targetLane) {
+        VUop uop;
+        uop.vseq = vi.vseq;
+        uop.kind = kind;
+        uop.op = in.op;
+        uop.fu = fuc;
+        uop.chime = chime;
+        uop.vd = vd;
+        uop.vs1 = vs1;
+        uop.packFactor = pf;
+        uop.reduceElems = tr.vl;
+        vi.plan.push_back(uop);
+        vi.planTarget.push_back(static_cast<int>(targetLane));
+        vi.lanePending += 1;
+    };
+
+    switch (in.op) {
+      case Op::vsetvli:
+      case Op::vmfence:
+        break;   // handled entirely in the VCU
+
+      case Op::vle: case Op::vlse: case Op::vluxei: {
+        bool indexed = in.op == Op::vluxei;
+        if (indexed)
+            for (unsigned c = 0; c < chimeCount; ++c)
+                addBroadcast(UopKind::indexSend, c, -1, vregIdx(in.rs2),
+                             -1, -1, FuClass::mem);
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::loadWb, c, vregIdx(in.rd), -1, -1, -1,
+                         FuClass::mem);
+        break;
+      }
+
+      case Op::vse: case Op::vsse: case Op::vsuxei: {
+        bool indexed = in.op == Op::vsuxei;
+        RegId dataReg = in.op == Op::vse ? in.rs2 : in.rs3;
+        if (indexed)
+            for (unsigned c = 0; c < chimeCount; ++c)
+                addBroadcast(UopKind::indexSend, c, -1, vregIdx(in.rs2),
+                             -1, -1, FuClass::mem);
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::storeRd, c, -1, vregIdx(dataReg), -1,
+                         -1, FuClass::mem);
+        break;
+      }
+
+      case Op::vrgather: case Op::vslideup: case Op::vslidedown: {
+        vi.isCross = true;
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::vxRead, c, -1, vregIdx(in.rs1),
+                         vregIdx(in.rs2), -1, FuClass::intAlu);
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::vxWrite, c, vregIdx(in.rd), -1, -1, -1,
+                         FuClass::intAlu);
+        break;
+      }
+
+      case Op::vredsum: case Op::vredmax: case Op::vredmin:
+      case Op::vfredsum: case Op::vfredmax: case Op::vfredmin: {
+        vi.isCross = true;
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::vxRead, c, -1, vregIdx(in.rs2),
+                         vregIdx(in.rs1), -1, in.traits().fu);
+        addSingle(UopKind::vxReduce, 0, vregIdx(in.rd), -1,
+                  in.traits().fu, 0);
+        break;
+      }
+
+      case Op::vpopc: case Op::vfirst: case Op::vmv_x_s:
+      case Op::vfmv_f_s: {
+        vi.isCross = true;
+        vi.scalarViaRing = true;
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::vxRead, c, -1, vregIdx(in.rs1), -1, -1,
+                         FuClass::intAlu);
+        break;
+      }
+
+      case Op::vmv_s_x: case Op::vfmv_s_f:
+        addSingle(UopKind::arith, 0, vregIdx(in.rd), -1,
+                  FuClass::intAlu, 0);
+        break;
+
+      default: {
+        // Plain per-chime arithmetic / compare / mask / move ops.
+        int vs2 = in.vsrc == VSrc2::vv ? vregIdx(in.rs2) : -1;
+        // FMA-style ops accumulate into vd.
+        int vs3 = (in.op == Op::vfmacc || in.op == Op::vfnmsac)
+                      ? vregIdx(in.rd) : -1;
+        for (unsigned c = 0; c < chimeCount; ++c)
+            addBroadcast(UopKind::arith, c, vregIdx(in.rd),
+                         vregIdx(in.rs1), vs2, vs3, in.traits().fu);
+        break;
+      }
+    }
+
+    vi.cracked = true;
+}
+
+// --------------------------------------------------------------------
+// VCU
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::vcuFrontTick()
+{
+    // Front stage (1 instruction/cycle): crack into the UopQ, forward
+    // memory commands to the VMIU, execute vsetvli, resolve fences.
+    // Decoupled from the broadcast stage so that stalled lanes do not
+    // keep the memory side from running ahead (paper Section III-B).
+    auto &eq = clock().eventQueue();
+    if (cmdQueue.empty() || eq.now() < switchReadyAt)
+        return;
+
+    VInstrPtr vi = cmdQueue.front();
+    const Instr &in = *vi->trace.inst;
+
+    if (!vi->cracked) {
+        crack(*vi);
+        vi->broadcastRemaining =
+            static_cast<unsigned>(vi->plan.size());
+    }
+
+    // vsetvli executes in the VCU (paper Section III-B).
+    if (in.op == Op::vsetvli) {
+        cmdQueue.pop_front();
+        if (vi->needsDataSlot)
+            --dataSlotsUsed;
+        completeInstr(*vi);
+        return;
+    }
+
+    // vmfence: all older instructions must have fully completed.
+    if (in.op == Op::vmfence) {
+        if (inflight.size() == 1 && vmiuQueue.empty() &&
+            uopQueue.empty()) {
+            cmdQueue.pop_front();
+            if (vi->needsDataSlot)
+                --dataSlotsUsed;
+            completeInstr(*vi);
+        }
+        return;
+    }
+
+    // Cross-element instructions: one at a time in the VXU.
+    if (vi->isCross) {
+        if (vxuVseq != 0 && vxuVseq != vi->vseq)
+            return;   // wait for the outstanding cross-element op
+        if (vxuVseq == 0) {
+            vxuVseq = vi->vseq;
+            unsigned chimeCount = activeChimes(vi->trace);
+            vxReadsExpected = chimeCount * p.numLanes;
+            vxReadsDone = 0;
+            vxDeliverAt = maxTick;
+        }
+    }
+
+    // Memory command to the VMIU (decoupling: issued before any of
+    // this instruction's micro-ops reach the lanes).
+    if (in.traits().isVecMem && !vi->memCmdSent) {
+        if (vmiuQueue.size() >= p.vmiuQueueDepth)
+            return;
+        vmiuQueue.push_back(vi);
+        vi->memCmdSent = true;
+        vmiuNextElem[vi->vseq] = 0;
+        stats.stat(sp + "vmiuCmds")++;
+    }
+
+    // Move the whole micro-op plan into the UopQ.
+    if (uopQueue.size() + vi->plan.size() > p.uopQueueDepth)
+        return;
+    for (unsigned i = 0; i < vi->plan.size(); ++i)
+        uopQueue.push_back(QueuedUop{vi, i});
+    cmdQueue.pop_front();
+    if (vi->needsDataSlot)
+        --dataSlotsUsed;
+    if (vi->plan.empty())
+        checkInstrDone(vi->vseq);
+}
+
+void
+VlittleEngine::vcuBroadcastTick()
+{
+    // Broadcast stage: one micro-op per cycle from the UopQ head,
+    // in lock step to all lanes.
+    lockstepBlocked = false;
+    if (uopQueue.empty())
+        return;
+
+    QueuedUop &qu = uopQueue.front();
+    VInstrPtr vi = qu.vi;
+    const Instr &in = *vi->trace.inst;
+    const VUop &uop = vi->plan[qu.idx];
+    int target = vi->planTarget[qu.idx];
+
+    if (target < 0) {
+        for (const auto &lane : lanes) {
+            if (!lane->queueFree()) {
+                lockstepBlocked = true;
+                return;
+            }
+        }
+        unsigned sew = in.traits().isVecMem
+            ? in.ew : std::max<unsigned>(1, vi->trace.sew);
+        unsigned pf = packFactor(sew);
+        unsigned epc = elemsPerChime(sew);
+        for (unsigned l = 0; l < p.numLanes; ++l) {
+            VUop laneUop = uop;
+            // Elements this lane handles in this chime.
+            unsigned base = uop.chime * epc + l * pf;
+            unsigned vl = vi->trace.vl;
+            laneUop.elems = base >= vl
+                ? 0 : std::min<unsigned>(pf, vl - base);
+            lanes[l]->pushUop(laneUop);
+        }
+    } else {
+        if (!lanes[target]->queueFree()) {
+            lockstepBlocked = true;
+            return;
+        }
+        VUop laneUop = uop;
+        laneUop.elems = std::min<unsigned>(laneUop.packFactor,
+                                           std::max(1u, vi->trace.vl));
+        lanes[target]->pushUop(laneUop);
+    }
+
+    uopQueue.pop_front();
+    stats.stat(sp + "uopsBroadcast")++;
+    bvl_assert(vi->broadcastRemaining > 0, "broadcast underflow");
+    if (--vi->broadcastRemaining == 0)
+        checkInstrDone(vi->vseq);
+}
+
+// --------------------------------------------------------------------
+// VMIU: break memory commands into cache-line requests
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req)
+{
+    Addr addr = req.lineAddr << lineShift;
+    SeqNum vseq = req.vseq;
+    std::uint64_t reqSeq = req.reqSeq;
+    bool isStore = req.isStore;
+
+    auto done = [this, vseq, reqSeq, vmsu_idx, isStore] {
+        if (isStore) {
+            --vmsus[vmsu_idx].storeSlotsUsed;
+            auto it = inflight.find(vseq);
+            if (it != inflight.end()) {
+                ++it->second->storeLinesDone;
+                checkInstrDone(vseq);
+            }
+        } else {
+            vluDataReady.insert(reqSeq);
+        }
+        activate();
+    };
+
+    switch (p.memPath) {
+      case VEngineParams::MemPath::bankedL1:
+        mem.accessBank(vmsu_idx, addr, isStore, std::move(done));
+        break;
+      case VEngineParams::MemPath::bigL1D:
+        mem.accessData(mem.bigCoreId(), addr, isStore, std::move(done));
+        break;
+      case VEngineParams::MemPath::directL2:
+        mem.accessL2(addr, isStore, std::move(done));
+        break;
+    }
+}
+
+void
+VlittleEngine::vmiuTick()
+{
+    if (vmiuQueue.empty())
+        return;
+    VInstrPtr vi = vmiuQueue.front();
+    const Instr &in = *vi->trace.inst;
+    const auto &addrs = vi->trace.elemAddrs;
+    bool isStore = in.traits().isVecStore;
+    bool indexed = in.op == Op::vluxei || in.op == Op::vsuxei;
+    SeqNum vseq = vi->vseq;
+
+    if (addrs.empty()) {
+        vi->memGenDone = true;
+        vmiuQueue.pop_front();
+        checkInstrDone(vseq);
+        return;
+    }
+
+    unsigned ne = vmiuNextElem[vseq];
+    unsigned avail = static_cast<unsigned>(addrs.size());
+    if (indexed) {
+        unsigned epc = elemsPerChime(in.ew);
+        avail = std::min<unsigned>(avail, idxChimesReady[vseq] * epc);
+        if (ne >= avail)
+            return;   // waiting for index values from the lanes
+    }
+
+    // Build one cache-line request from consecutive elements.
+    Addr line0 = lineOf(addrs[ne]);
+    unsigned limit = indexed ? p.coalesceWindow
+                             : static_cast<unsigned>(addrs.size());
+    unsigned count = 1;
+    while (ne + count < avail && count < limit &&
+           lineOf(addrs[ne + count]) == line0) {
+        ++count;
+    }
+
+    unsigned vmsuIdx;
+    switch (p.memPath) {
+      case VEngineParams::MemPath::bankedL1:
+        vmsuIdx = mem.bankOf(line0 << lineShift);
+        break;
+      case VEngineParams::MemPath::bigL1D:
+        vmsuIdx = 0;
+        break;
+      default:
+        vmsuIdx = static_cast<unsigned>(line0 % vmsus.size());
+        break;
+    }
+    Vmsu &m = vmsus[vmsuIdx];
+
+    if (isStore) {
+        if (m.storeSlotsUsed >= p.storeQueueLines ||
+            m.camUsed >= p.storeCamEntries) {
+            return;   // backpressure
+        }
+    } else if (m.loadSlotsUsed >= p.loadQueueLines) {
+        return;
+    }
+
+    LineReq req;
+    req.reqSeq = nextReqSeq++;
+    req.vseq = vseq;
+    req.lineAddr = line0;
+    req.isStore = isStore;
+    req.indexed = indexed;
+    req.elemStart = ne;
+    req.elemCount = count;
+    req.vmsu = vmsuIdx;
+
+    m.queue.push_back(req);
+    if (isStore) {
+        ++m.storeSlotsUsed;
+        ++m.camUsed;
+        vsuOrder.push_back(req);
+        ++vi->storeLinesTotal;
+    } else {
+        ++m.loadSlotsUsed;
+        vluOrder.push_back(req);
+    }
+    stats.stat(sp + (isStore ? "storeLineReqs" : "loadLineReqs"))++;
+
+    vmiuNextElem[vseq] = ne + count;
+    if (ne + count == addrs.size()) {
+        vi->memGenDone = true;
+        vmiuQueue.pop_front();
+        checkInstrDone(vseq);
+    }
+}
+
+// --------------------------------------------------------------------
+// VMSU: per-bank request issue with store-address CAM
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::vmsuTick(unsigned idx)
+{
+    // Issue one request per cycle, oldest-first. A load may bypass
+    // older stores that are still waiting for their data from the
+    // VSU, but only if its line does not match any of them (the
+    // store-address CAM check, paper Section III-E).
+    Vmsu &m = vmsus[idx];
+    std::unordered_set<Addr> olderStoreLines;
+    unsigned scanned = 0;
+    for (auto it = m.queue.begin();
+         it != m.queue.end() && scanned < 8; ++it, ++scanned) {
+        LineReq req = *it;
+        if (req.isStore) {
+            if (m.storeDataReady.count(req.reqSeq)) {
+                m.storeDataReady.erase(req.reqSeq);
+                bvl_assert(m.camUsed > 0, "CAM underflow");
+                --m.camUsed;
+                m.queue.erase(it);
+                issueToMemory(idx, req);
+                return;
+            }
+            olderStoreLines.insert(req.lineAddr);
+        } else {
+            if (olderStoreLines.count(req.lineAddr)) {
+                stats.stat(sp + "vmsuRawStalls")++;
+                continue;   // RAW through memory: wait for the store
+            }
+            m.queue.erase(it);
+            issueToMemory(idx, req);
+            return;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// VLU: in-order data delivery to the lanes
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::vluTick()
+{
+    if (vluOrder.empty())
+        return;
+    LineReq &req = vluOrder.front();
+    if (!vluDataReady.count(req.reqSeq))
+        return;
+
+    // Indexed loads are pulled element by element (paper Section
+    // III-E); unit/constant-stride responses push a whole line slice.
+    if (req.indexed) {
+        ++vluHeadDelivered;
+        if (vluHeadDelivered < req.elemCount)
+            return;
+    }
+
+    auto it = inflight.find(req.vseq);
+    if (it != inflight.end()) {
+        const Instr &in = *it->second->trace.inst;
+        auto &counts = arrived[req.vseq];
+        if (counts.empty())
+            counts.assign(p.numLanes * p.chimes, 0);
+        unsigned epc = elemsPerChime(in.ew);
+        for (unsigned e = req.elemStart; e < req.elemStart + req.elemCount;
+             ++e) {
+            unsigned chime = std::min(e / epc, p.chimes - 1);
+            unsigned lane = laneOfElem(e, in.ew);
+            ++counts[lane * p.chimes + chime];
+        }
+    }
+
+    --vmsus[req.vmsu].loadSlotsUsed;
+    vluDataReady.erase(req.reqSeq);
+    vluOrder.pop_front();
+    vluHeadDelivered = 0;
+    stats.stat(sp + "vluDeliveries")++;
+}
+
+// --------------------------------------------------------------------
+// VSU: assemble store lines from lane data
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::vsuTick()
+{
+    if (vsuOrder.empty())
+        return;
+    LineReq &req = vsuOrder.front();
+    auto it = storeElemsReceived.find(req.vseq);
+    unsigned have = it == storeElemsReceived.end() ? 0 : it->second;
+    if (have < req.elemStart + req.elemCount)
+        return;   // lanes have not produced this line's elements yet
+    vmsus[req.vmsu].storeDataReady.insert(req.reqSeq);
+    vsuOrder.pop_front();
+    stats.stat(sp + "vsuLines")++;
+}
+
+// --------------------------------------------------------------------
+// LaneEnv interface
+// --------------------------------------------------------------------
+
+bool
+VlittleEngine::loadDataReady(SeqNum vseq, unsigned lane, unsigned chime,
+                             unsigned needed)
+{
+    if (needed == 0)
+        return true;
+    auto it = arrived.find(vseq);
+    if (it == arrived.end())
+        return false;
+    return it->second[lane * p.chimes + std::min(chime, p.chimes - 1)] >=
+           needed;
+}
+
+void
+VlittleEngine::storeDataFromLane(SeqNum vseq, unsigned, unsigned,
+                                 unsigned elems)
+{
+    storeElemsReceived[vseq] += elems;
+}
+
+void
+VlittleEngine::indexFromLane(SeqNum vseq, unsigned, unsigned)
+{
+    // A chime's indices are complete once every lane has sent its
+    // share; lanes execute chimes in order, so counting is enough.
+    auto &done = idxSendCounts[vseq];
+    ++done;
+    if (done % p.numLanes == 0)
+        ++idxChimesReady[vseq];
+}
+
+void
+VlittleEngine::vxSourceFromLane(SeqNum vseq, unsigned, unsigned)
+{
+    if (vseq != vxuVseq)
+        return;
+    ++vxReadsDone;
+    if (vxReadsDone == vxReadsExpected) {
+        auto it = inflight.find(vseq);
+        unsigned totalElems =
+            it != inflight.end() ? std::max(1u, it->second->trace.vl) : 1;
+        // The ring shifts one hop per cycle for N element slots.
+        vxDeliverAt = clock().eventQueue().now() +
+                      clock().cyclesToTicks(totalElems);
+        if (it != inflight.end() && it->second->scalarViaRing) {
+            // Scalar result returns to the big core after the ring
+            // traversal plus one response hop.
+            VInstrPtr vi = it->second;
+            vi->ringDoneAt = clock().eventQueue().now() +
+                             clock().cyclesToTicks(p.numLanes + 1);
+            clock().eventQueue().scheduleAt(
+                vi->ringDoneAt, [this, vi] { checkInstrDone(vi->vseq); });
+        }
+    }
+}
+
+bool
+VlittleEngine::vxDeliveryReady(SeqNum vseq)
+{
+    return vseq == vxuVseq &&
+           clock().eventQueue().now() >= vxDeliverAt;
+}
+
+bool
+VlittleEngine::vxReadsComplete(SeqNum vseq)
+{
+    return vseq == vxuVseq && vxReadsDone == vxReadsExpected;
+}
+
+void
+VlittleEngine::uopRetired(SeqNum vseq)
+{
+    auto it = inflight.find(vseq);
+    if (it == inflight.end())
+        return;
+    bvl_assert(it->second->lanePending > 0, "%s: uop underflow",
+               p.name.c_str());
+    --it->second->lanePending;
+    checkInstrDone(vseq);
+    activate();
+}
+
+// --------------------------------------------------------------------
+// Completion
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::checkInstrDone(SeqNum vseq)
+{
+    auto it = inflight.find(vseq);
+    if (it == inflight.end())
+        return;
+    VInstr &vi = *it->second;
+    if (vi.completed || !vi.cracked || vi.broadcastRemaining > 0)
+        return;
+
+    if (vi.scalarViaRing) {
+        // Completed by the ring-delay event scheduled when the last
+        // vxRead arrived; lanePending only tracks the reads.
+        if (vi.lanePending > 0)
+            return;
+        if (clock().eventQueue().now() < vi.ringDoneAt)
+            return;
+    } else {
+        if (vi.lanePending > 0)
+            return;
+        if (vi.trace.inst->traits().isVecMem) {
+            if (!vi.memGenDone)
+                return;
+            if (vi.trace.inst->traits().isVecStore &&
+                vi.storeLinesDone < vi.storeLinesTotal) {
+                return;
+            }
+        }
+    }
+    completeInstr(vi);
+}
+
+void
+VlittleEngine::completeInstr(VInstr &vi)
+{
+    if (vi.completed)
+        return;
+    vi.completed = true;
+    stats.stat(sp + "completed")++;
+
+    if (vxuVseq == vi.vseq) {
+        vxuVseq = 0;
+        vxReadsExpected = vxReadsDone = 0;
+        vxDeliverAt = maxTick;
+    }
+    arrived.erase(vi.vseq);
+    storeElemsReceived.erase(vi.vseq);
+    vmiuNextElem.erase(vi.vseq);
+    idxChimesReady.erase(vi.vseq);
+    idxSendCounts.erase(vi.vseq);
+
+    auto onDone = std::move(vi.onDone);
+    inflight.erase(vi.vseq);
+    if (onDone)
+        onDone();
+}
+
+// --------------------------------------------------------------------
+// Engine tick
+// --------------------------------------------------------------------
+
+bool
+VlittleEngine::tick()
+{
+    if (idle())
+        return false;
+    stats.stat(sp + "cycles")++;
+
+    vcuFrontTick();
+    vcuBroadcastTick();
+    for (auto &lane : lanes)
+        lane->tick();
+    vmiuTick();
+    for (unsigned i = 0; i < vmsus.size(); ++i)
+        vmsuTick(i);
+    vluTick();
+    vsuTick();
+
+    return !idle();
+}
+
+} // namespace bvl

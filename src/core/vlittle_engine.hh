@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The big.VLITTLE decoupled vector engine (paper Section III).
+ *
+ * One parameterized engine models all three vector machines of the
+ * evaluation:
+ *
+ *  - the VLITTLE engine itself: 4 lanes (reconfigured little cores),
+ *    2 chimes, packed 32-bit elements (512-bit VLEN), banked shared
+ *    L1D memory path, L1I-SRAM-backed VMSU data queues, 500-cycle
+ *    mode-switch penalty;
+ *  - the integrated vector unit of 1bIV: 2 lane-equivalents (128-bit
+ *    VLEN), one chime, memory through the big core's L1D port;
+ *  - the decoupled vector engine of 1bDV: 8 wide lanes (2048-bit
+ *    VLEN), 4 chimes, deep buffers, direct high-bandwidth L2 path.
+ *
+ * Structure (Figure 1): the VCU cracks each dispatched vector
+ * instruction into per-chime micro-ops and broadcasts them in lock
+ * step over a pipelined bus; the VMU (VMIU + per-bank VMSUs + VLU +
+ * VSU) decouples memory from execution; the VXU is a uni-directional
+ * ring serving one cross-element instruction at a time.
+ */
+
+#ifndef BVL_CORE_VLITTLE_ENGINE_HH
+#define BVL_CORE_VLITTLE_ENGINE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lane.hh"
+#include "core/vuop.hh"
+#include "cpu/vec_engine.hh"
+#include "mem/mem_system.hh"
+#include "sim/clock_domain.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+struct VEngineParams
+{
+    std::string name = "vlittle";
+    /** Per-lane stat prefix; lane i uses "<lanePrefix><i>.". */
+    std::string lanePrefix = "little";
+    unsigned numLanes = 4;
+    unsigned chimes = 2;
+    bool packed = true;
+
+    unsigned cmdQueueDepth = 32;   ///< VCU instruction command queue
+    unsigned uopQueueDepth = 64;   ///< VCU micro-op queue (UopQ)
+    unsigned dataQueueDepth = 8;   ///< VCU scalar-data queue
+    unsigned laneUopQueueDepth = 4;
+    unsigned vmiuQueueDepth = 16;
+    /** Per-VMSU outstanding load/store line-data slots (the paper's
+     *  re-purposed L1I SRAM FIFOs; swept in Figure 8). */
+    unsigned loadQueueLines = 16;
+    unsigned storeQueueLines = 16;
+    unsigned storeCamEntries = 8;
+    unsigned coalesceWindow = 4;   ///< indexed elems coalesced per line
+
+    Cycles switchPenalty = 500;    ///< vector-region entry cost
+    FuLatencies fu{};
+
+    enum class MemPath { bankedL1, bigL1D, directL2 };
+    MemPath memPath = MemPath::bankedL1;
+    /** Engine toggles the little L1Ds into banked mode on switch. */
+    bool controlsL1Mode = true;
+    /** Head-of-ROB dispatch (decoupled) vs in-pipeline (integrated). */
+    bool headDispatch = true;
+
+    /** Hardware vector length presented to vsetvli (32-bit data). */
+    unsigned
+    vlenBits() const
+    {
+        return numLanes * chimes * (packed ? 64 : 32);
+    }
+};
+
+class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
+{
+  public:
+    VlittleEngine(ClockDomain &cd, StatGroup &stats, MemSystem &mem,
+                  VEngineParams params = {});
+
+    // --- VectorEngine interface (big core side) ---
+    bool canAccept(const ExecTrace &trace) const override;
+    void dispatch(const ExecTrace &trace,
+                  std::function<void()> onDone) override;
+    bool idle() const override;
+    const char *engineName() const override { return p.name.c_str(); }
+    bool dispatchAtHead() const override { return p.headDispatch; }
+
+    /** Leave vector mode (driver calls when a vector region ends). */
+    void exitVectorMode();
+    bool inVectorMode() const { return vectorMode; }
+
+    // --- LaneEnv interface (lane side) ---
+    bool loadDataReady(SeqNum vseq, unsigned lane, unsigned chime,
+                       unsigned needed) override;
+    void storeDataFromLane(SeqNum vseq, unsigned lane, unsigned chime,
+                           unsigned elems) override;
+    void indexFromLane(SeqNum vseq, unsigned lane, unsigned chime) override;
+    void vxSourceFromLane(SeqNum vseq, unsigned lane,
+                          unsigned chime) override;
+    bool vxDeliveryReady(SeqNum vseq) override;
+    bool vxReadsComplete(SeqNum vseq) override;
+    void uopRetired(SeqNum vseq) override;
+    bool vcuBlockedLockstep() const override { return lockstepBlocked; }
+
+    const VEngineParams &params() const { return p; }
+
+  protected:
+    bool tick() override;
+
+  private:
+    /** One dynamic vector instruction in flight in the engine. */
+    struct VInstr
+    {
+        SeqNum vseq = 0;
+        ExecTrace trace;
+        std::function<void()> onDone;
+        bool needsDataSlot = false;
+
+        std::vector<VUop> plan;       ///< lane uops, broadcast in order
+        std::vector<int> planTarget;  ///< -1 broadcast, else lane index
+        unsigned broadcastRemaining = 0;
+        bool cracked = false;
+        bool memCmdSent = false;
+        bool isCross = false;
+        bool scalarViaRing = false;   ///< vpopc & friends
+
+        unsigned lanePending = 0;     ///< lane uops not yet retired
+        unsigned storeLinesTotal = 0;
+        unsigned storeLinesDone = 0;
+        Tick ringDoneAt = maxTick;    ///< scalar-via-ring return time
+        bool memGenDone = false;      ///< VMIU finished generating reqs
+        bool completed = false;
+    };
+    using VInstrPtr = std::shared_ptr<VInstr>;
+
+    /** One cache-line request generated by the VMIU. */
+    struct LineReq
+    {
+        std::uint64_t reqSeq = 0;
+        SeqNum vseq = 0;
+        Addr lineAddr = 0;
+        bool isStore = false;
+        bool indexed = false;
+        unsigned elemStart = 0;
+        unsigned elemCount = 0;
+        unsigned vmsu = 0;
+    };
+
+    struct Vmsu
+    {
+        std::deque<LineReq> queue;
+        unsigned loadSlotsUsed = 0;
+        unsigned storeSlotsUsed = 0;
+        /** Stores buffered in the queue (CAM capacity constraint). */
+        unsigned camUsed = 0;
+        std::unordered_set<std::uint64_t> storeDataReady;
+    };
+
+    // per-cycle unit models
+    void vcuFrontTick();
+    void vcuBroadcastTick();
+    void vmiuTick();
+    void vmsuTick(unsigned idx);
+    void vluTick();
+    void vsuTick();
+
+    void crack(VInstr &vi);
+    void completeInstr(VInstr &vi);
+    void checkInstrDone(SeqNum vseq);
+    unsigned packFactor(unsigned sewBytes) const;
+    unsigned elemsPerChime(unsigned sewBytes) const;
+    unsigned activeChimes(const ExecTrace &trace) const;
+    unsigned laneOfElem(unsigned elemIdx, unsigned sewBytes) const;
+    void issueToMemory(unsigned vmsuIdx, const LineReq &req);
+
+    StatGroup &stats;
+    MemSystem &mem;
+    VEngineParams p;
+    std::string sp;   ///< engine stat prefix "<name>."
+
+    std::vector<std::unique_ptr<VectorLane>> lanes;
+
+    // VCU state
+    std::deque<VInstrPtr> cmdQueue;
+    /** Cracked micro-ops awaiting lock-step broadcast (paper's UopQ). */
+    struct QueuedUop
+    {
+        VInstrPtr vi;
+        unsigned idx;
+    };
+    std::deque<QueuedUop> uopQueue;
+    unsigned dataSlotsUsed = 0;
+    bool vectorMode = false;
+    Tick switchReadyAt = 0;
+    bool lockstepBlocked = false;
+
+    // in-flight instruction table
+    std::map<SeqNum, VInstrPtr> inflight;
+    SeqNum nextVseq = 1;
+
+    // VMIU state
+    std::deque<VInstrPtr> vmiuQueue;
+    std::uint64_t nextReqSeq = 1;
+    std::unordered_map<SeqNum, unsigned> vmiuNextElem;
+    std::unordered_map<SeqNum, unsigned> idxChimesReady;
+    std::unordered_map<SeqNum, unsigned> idxSendCounts;
+
+    // VMSUs
+    std::vector<Vmsu> vmsus;
+
+    // VLU state
+    std::deque<LineReq> vluOrder;
+    std::unordered_set<std::uint64_t> vluDataReady;
+    unsigned vluHeadDelivered = 0;
+    /** delivered element counts per (vseq, lane, chime) */
+    std::unordered_map<SeqNum, std::vector<unsigned>> arrived;
+
+    // VSU state
+    std::deque<LineReq> vsuOrder;
+    std::unordered_map<SeqNum, unsigned> storeElemsReceived;
+
+    // VXU state
+    SeqNum vxuVseq = 0;
+    unsigned vxReadsExpected = 0;
+    unsigned vxReadsDone = 0;
+    Tick vxDeliverAt = maxTick;
+};
+
+} // namespace bvl
+
+#endif // BVL_CORE_VLITTLE_ENGINE_HH

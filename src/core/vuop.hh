@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Micro-operations cracked by the VCU and executed by vector lanes.
+ *
+ * Per paper Section III-C, each vector instruction becomes one
+ * micro-op per element group (chime), broadcast in lock step to all
+ * little cores. Cross-element instructions additionally use
+ * vxread/vxwrite/vxreduce micro-ops (Section III-D), and memory
+ * instructions pair a VMIU command with per-chime writeback/read
+ * micro-ops (Section III-E).
+ */
+
+#ifndef BVL_CORE_VUOP_HH
+#define BVL_CORE_VUOP_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+#include "sim/types.hh"
+
+namespace bvl
+{
+
+enum class UopKind : std::uint8_t
+{
+    arith,      ///< per-chime arithmetic on the lane's packed registers
+    loadWb,     ///< write VLU-delivered load data into the register file
+    storeRd,    ///< read store data from the register file, send to VSU
+    indexSend,  ///< read index register, send indices to the VMIU
+    vxRead,     ///< read source elements, send to the VXU ring
+    vxWrite,    ///< wait for VXU data, write destination elements
+    vxReduce,   ///< (first lane only) reduce all elements from the VXU
+};
+
+struct VUop
+{
+    SeqNum vseq = 0;          ///< owning dynamic vector instruction
+    UopKind kind = UopKind::arith;
+    Op op = Op::nop;          ///< originating opcode (FU class, latency)
+    FuClass fu = FuClass::intAlu;
+    unsigned chime = 0;
+
+    // Architectural vector register numbers (-1 = unused).
+    int vd = -1;
+    int vs1 = -1;
+    int vs2 = -1;
+    int vs3 = -1;
+    bool masked = false;
+
+    /** Active elements this lane handles for this chime. */
+    unsigned elems = 0;
+    /** Elements packed per 64-bit physical register. */
+    unsigned packFactor = 1;
+    /** vxReduce: total elements arriving over the ring. */
+    unsigned reduceElems = 0;
+    /** Complex op: packed elements execute serially (paper III-C). */
+    bool serialized = false;
+};
+
+} // namespace bvl
+
+#endif // BVL_CORE_VUOP_HH

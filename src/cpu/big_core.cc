@@ -1,0 +1,389 @@
+#include "cpu/big_core.hh"
+
+#include <algorithm>
+
+namespace bvl
+{
+
+namespace
+{
+
+/** Map a FuClass to its pool index / size lookup. */
+unsigned
+poolSize(const BigCoreParams &p, FuClass fu)
+{
+    switch (fu) {
+      case FuClass::intAlu: return p.numIntAlu;
+      case FuClass::intMul:
+      case FuClass::intDiv: return p.numMulDiv;
+      case FuClass::fpAdd:
+      case FuClass::fpMul:
+      case FuClass::fpDiv: return p.numFp;
+      case FuClass::mem: return p.numMemPorts;
+      case FuClass::branch: return p.numBranch;
+      default: return 1000;   // nop class: unconstrained
+    }
+}
+
+} // namespace
+
+BigCore::BigCore(ClockDomain &cd, StatGroup &sg, MemSystem &ms,
+                 BackingStore &bs, unsigned vlen_bits,
+                 BigCoreParams params)
+    : Clocked(cd, "big"), stats(sg), mem(ms), backing(bs),
+      p(params), arch(vlen_bits), bpred(params.bpredIndexBits),
+      fetchBuf(ms, ms.bigCoreId(), sg, prefix)
+{
+    lastWriter.fill(nullptr);
+}
+
+void
+BigCore::runProgram(ProgramPtr program,
+                    const std::vector<std::pair<RegId, std::uint64_t>>
+                        &args,
+                    std::function<void()> done)
+{
+    bvl_assert(!running, "big core: runProgram while busy");
+    prog = std::move(program);
+    onDone = std::move(done);
+    arch.reset();
+    for (const auto &[reg, value] : args) {
+        if (isFReg(reg))
+            arch.setF(reg, value);
+        else
+            arch.setX(reg, value);
+    }
+    running = true;
+    haltSeen = false;
+    fetchBuf.reset();
+    fetchStallUntil = 0;
+    blockingBranch = nullptr;
+    rob.clear();
+    lastWriter.fill(nullptr);
+    lastStoreToLine.clear();
+    readyQueue.clear();
+    fuInUseThisCycle.fill(0);
+    unpipedBusyUntil.fill(0);
+    loadsInFlight = 0;
+    storesInFlight = 0;
+    vecOutstanding = 0;
+    vecQueue.clear();
+    bpred.reset();
+    activate();
+}
+
+void
+BigCore::fetchStage()
+{
+    auto &eq = clock().eventQueue();
+    for (unsigned n = 0; n < p.fetchWidth; ++n) {
+        if (haltSeen || blockingBranch ||
+            fetchStallUntil > eq.now() || rob.size() >= p.robEntries) {
+            return;
+        }
+        if (arch.pc >= prog->size())
+            return;
+
+        Addr instAddr = prog->instAddr(arch.pc);
+        if (!fetchBuf.lineReady(instAddr, [this] { activate(); }))
+            return;
+
+        std::uint64_t fetchPc = arch.pc;
+        ExecTrace tr = stepOne(arch, *prog, backing);
+        stats.stat(prefix + "fetched")++;
+
+        auto owned = std::make_unique<RobInst>();
+        RobInst *inst = owned.get();
+        inst->seq = nextSeq++;
+        inst->trace = std::move(tr);
+        const Instr &in = *inst->trace.inst;
+
+        // Register (scalar) source dependences.
+        auto addDep = [&](RegId r) {
+            if (r == regIdInvalid || r >= 64)
+                return;
+            RobInst *producer = lastWriter[r];
+            if (producer && !producer->complete) {
+                ++inst->pendingSrcs;
+                producer->consumers.push_back(inst);
+            }
+        };
+        addDep(in.rs1);
+        // rs2 is a scalar source for scalar ops and .vx/.vf forms.
+        if (!in.isVector() || in.vsrc == VSrc2::vx || in.vsrc == VSrc2::vf)
+            addDep(in.rs2);
+        addDep(in.rs3 < 64 ? in.rs3 : regIdInvalid);
+
+        // Store -> load ordering through memory (scalar only; the
+        // vector engines order their own memory, vmfence orders the
+        // scalar/vector boundary).
+        if (!in.isVector() && inst->trace.isMem) {
+            Addr lnum = lineOf(inst->trace.addr);
+            if (inst->trace.isStore) {
+                lastStoreToLine[lnum] = inst;
+            } else {
+                auto it = lastStoreToLine.find(lnum);
+                if (it != lastStoreToLine.end() &&
+                    !it->second->complete) {
+                    ++inst->pendingSrcs;
+                    it->second->consumers.push_back(inst);
+                }
+            }
+        }
+
+        // Rename the destination.
+        if (in.rd != regIdInvalid && in.rd < 64 && in.op != Op::store)
+            lastWriter[in.rd] = inst;
+
+        // Branch prediction (conditional branches only).
+        if (inst->trace.isBranch && in.op != Op::jump) {
+            bool predicted = bpred.predict(fetchPc);
+            bpred.update(fetchPc, inst->trace.taken);
+            if (predicted != inst->trace.taken) {
+                inst->predictedWrong = true;
+                blockingBranch = inst;
+                stats.stat(prefix + "mispredicts")++;
+            }
+        }
+
+        if (in.op == Op::halt)
+            haltSeen = true;
+
+        if (in.isVector())
+            vecQueue.push_back(inst);
+
+        if (in.traits().fu == FuClass::nop) {
+            // li/nop/halt: complete at dispatch, no FU needed.
+            inst->issued = true;
+            inst->complete = true;
+        } else if (!in.isVector() && inst->pendingSrcs == 0) {
+            readyQueue.emplace(inst->seq, inst);
+            inst->inReadyQueue = true;
+        }
+
+        rob.push_back(std::move(owned));
+    }
+}
+
+bool
+BigCore::fuAvailable(FuClass fu, Tick now)
+{
+    if (fu == FuClass::nop)
+        return true;
+    if (!p.fu.pipelined(fu) && unpipedBusyUntil[unsigned(fu)] > now)
+        return false;
+    return fuInUseThisCycle[unsigned(fu)] < poolSize(p, fu);
+}
+
+void
+BigCore::consumeFu(FuClass fu, Tick now)
+{
+    if (fu == FuClass::nop)
+        return;
+    ++fuInUseThisCycle[unsigned(fu)];
+    if (!p.fu.pipelined(fu))
+        unpipedBusyUntil[unsigned(fu)] =
+            now + clock().cyclesToTicks(p.fu.latency(fu));
+}
+
+void
+BigCore::issueStage()
+{
+    auto &eq = clock().eventQueue();
+    Tick now = eq.now();
+
+    if (fuCycleTick != now) {
+        fuInUseThisCycle.fill(0);
+        fuCycleTick = now;
+    }
+
+    unsigned issued = 0;
+    auto it = readyQueue.begin();
+    while (it != readyQueue.end() && issued < p.issueWidth) {
+        RobInst *inst = it->second;
+        const Instr &in = *inst->trace.inst;
+        FuClass fu = in.traits().fu;
+
+        if (!fuAvailable(fu, now)) {
+            ++it;
+            continue;
+        }
+        if (in.op == Op::load && loadsInFlight >= p.lsqLoads) {
+            ++it;
+            continue;
+        }
+        if (in.op == Op::store && storesInFlight >= p.lsqStores) {
+            ++it;
+            continue;
+        }
+
+        // Issue.
+        consumeFu(fu, now);
+        inst->issued = true;
+        inst->inReadyQueue = false;
+        it = readyQueue.erase(it);
+        ++issued;
+
+        if (in.op == Op::load) {
+            ++loadsInFlight;
+            mem.accessData(mem.bigCoreId(), inst->trace.addr, false,
+                           [this, inst] {
+                --loadsInFlight;
+                inst->producerKind = ProducerKind::memory;
+                completeInst(inst);
+            });
+        } else if (in.op == Op::store) {
+            ++storesInFlight;
+            mem.accessData(mem.bigCoreId(), inst->trace.addr, true,
+                           [this, inst] {
+                --storesInFlight;
+                completeInst(inst);
+            });
+        } else {
+            Cycles lat = p.fu.latency(fu);
+            eq.schedule(clock().cyclesToTicks(lat), [this, inst] {
+                completeInst(inst);
+            });
+        }
+    }
+}
+
+void
+BigCore::completeInst(RobInst *inst)
+{
+    if (inst->complete)
+        return;
+    inst->complete = true;
+
+    if (inst->predictedWrong && blockingBranch == inst) {
+        blockingBranch = nullptr;
+        fetchStallUntil = clock().eventQueue().now() +
+                          clock().cyclesToTicks(p.redirectPenalty);
+    }
+
+    for (RobInst *consumer : inst->consumers) {
+        bvl_assert(consumer->pendingSrcs > 0, "wakeup underflow");
+        if (--consumer->pendingSrcs == 0 && !consumer->issued &&
+            !consumer->inReadyQueue &&
+            !consumer->trace.inst->isVector()) {
+            readyQueue.emplace(consumer->seq, consumer);
+            consumer->inReadyQueue = true;
+        }
+    }
+    inst->consumers.clear();
+    activate();
+}
+
+void
+BigCore::vecDispatchStage()
+{
+    // Vector instructions dispatch in program order among themselves.
+    // Decoupled engines additionally require the ROB head (paper
+    // Section III-A); the integrated unit dispatches as soon as the
+    // scalar operands are ready. vmfence always waits for the head
+    // and for outstanding scalar memory (paper Section III-B).
+    while (vengine && !vecQueue.empty()) {
+        RobInst *inst = vecQueue.front();
+        const Instr &in = *inst->trace.inst;
+        if (inst->pendingSrcs != 0)
+            return;
+        bool needHead = vengine->dispatchAtHead() ||
+                        in.op == Op::vmfence;
+        if (needHead && (rob.empty() || rob.front().get() != inst))
+            return;
+        if (in.op == Op::vmfence &&
+            (loadsInFlight != 0 || storesInFlight != 0)) {
+            return;
+        }
+        if (!vengine->canAccept(inst->trace))
+            return;
+
+        inst->vecDispatched = true;
+        ++vecOutstanding;
+        stats.stat(prefix + "vecDispatched")++;
+        if (in.traits().writesScalar) {
+            vengine->dispatch(inst->trace, [this, inst] {
+                --vecOutstanding;
+                completeInst(inst);
+            });
+        } else {
+            vengine->dispatch(inst->trace, [this] {
+                --vecOutstanding;
+                activate();
+                maybeFinish();
+            });
+            inst->complete = true;
+        }
+        vecQueue.pop_front();
+        // Only one dispatch per cycle (vector dispatch unit port).
+        return;
+    }
+}
+
+void
+BigCore::commitStage()
+{
+    for (unsigned n = 0; n < p.commitWidth && !rob.empty(); ++n) {
+        RobInst *head = rob.front().get();
+        const Instr &in = *head->trace.inst;
+
+        if (in.isVector()) {
+            // Dispatch happens in vecDispatchStage; the ROB head only
+            // waits here for dispatch (and, for scalar-writing ops,
+            // for the engine's response).
+            if (!head->vecDispatched || !head->complete)
+                return;
+        } else if (!head->complete) {
+            return;
+        }
+
+        // Retire.
+        if (in.rd != regIdInvalid && in.rd < 64 &&
+            lastWriter[in.rd] == head) {
+            lastWriter[in.rd] = nullptr;
+        }
+        if (head->trace.isMem && head->trace.isStore && !in.isVector()) {
+            auto it = lastStoreToLine.find(lineOf(head->trace.addr));
+            if (it != lastStoreToLine.end() && it->second == head)
+                lastStoreToLine.erase(it);
+        }
+        rob.pop_front();
+        ++numRetired;
+        stats.stat(prefix + "retired")++;
+    }
+}
+
+void
+BigCore::maybeFinish()
+{
+    if (!running || !haltSeen || !rob.empty())
+        return;
+    if (loadsInFlight != 0 || storesInFlight != 0 || vecOutstanding != 0)
+        return;
+    if (vengine && !vengine->idle())
+        return;
+    running = false;
+    if (onDone) {
+        auto done = std::move(onDone);
+        onDone = nullptr;
+        clock().eventQueue().schedule(clock().cyclesToTicks(1),
+                                      std::move(done));
+    }
+}
+
+bool
+BigCore::tick()
+{
+    if (!running)
+        return false;
+    ++numCycles;
+    stats.stat(prefix + "cycles")++;
+    vecDispatchStage();
+    commitStage();
+    issueStage();
+    fetchStage();
+    maybeFinish();
+    return running;
+}
+
+} // namespace bvl

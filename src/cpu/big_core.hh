@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Out-of-order big core.
+ *
+ * Functional-first like the little core: the oracle path is executed
+ * at fetch, and the pipeline schedules timing through a ROB with
+ * dataflow wakeup, per-class FU pools, a load/store queue with precise
+ * (oracle-address) store->load disambiguation, and a gshare front end
+ * whose mispredictions stall fetch until the branch resolves plus a
+ * redirect penalty (wrong-path fetch is not modelled; DESIGN.md §5).
+ *
+ * Vector instructions do not issue to FUs: they wait for the ROB head
+ * and dispatch to the attached VectorEngine (paper Section III-A).
+ * Scalar-writing vector instructions complete (and wake dependents)
+ * only when the engine responds.
+ */
+
+#ifndef BVL_CPU_BIG_CORE_HH
+#define BVL_CPU_BIG_CORE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "cpu/bpred.hh"
+#include "cpu/fetch_buffer.hh"
+#include "cpu/fu_params.hh"
+#include "cpu/vec_engine.hh"
+#include "isa/arch_state.hh"
+#include "mem/mem_system.hh"
+#include "sim/clock_domain.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+struct BigCoreParams
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robEntries = 192;
+    unsigned lsqLoads = 48;
+    unsigned lsqStores = 32;
+    FuLatencies fu{};
+    unsigned numIntAlu = 3;
+    unsigned numMulDiv = 1;
+    unsigned numFp = 2;
+    unsigned numMemPorts = 2;
+    unsigned numBranch = 1;
+    Cycles redirectPenalty = 3;   ///< cycles after branch resolution
+    unsigned bpredIndexBits = 12;
+};
+
+class BigCore : public Clocked
+{
+  public:
+    BigCore(ClockDomain &cd, StatGroup &stats, MemSystem &mem,
+            BackingStore &backing, unsigned vlenBits,
+            BigCoreParams params = {});
+
+    /** Attach the vector engine vector instructions dispatch to. */
+    void setVectorEngine(VectorEngine *engine) { vengine = engine; }
+
+    void runProgram(ProgramPtr prog,
+                    const std::vector<std::pair<RegId, std::uint64_t>>
+                        &args,
+                    std::function<void()> done);
+
+    bool busy() const { return running; }
+    ArchState &archState() { return arch; }
+    std::uint64_t retired() const { return numRetired; }
+
+  protected:
+    bool tick() override;
+
+  private:
+    struct RobInst
+    {
+        SeqNum seq = 0;
+        ExecTrace trace;
+        unsigned pendingSrcs = 0;
+        bool inReadyQueue = false;
+        bool issued = false;
+        bool complete = false;
+        bool vecDispatched = false;
+        bool predictedWrong = false;
+        ProducerKind producerKind = ProducerKind::shortOp;
+        std::vector<RobInst *> consumers;
+        /** Youngest older store to the same line (load ordering). */
+        RobInst *depStore = nullptr;
+        bool depStoreDone = true;
+    };
+
+    void fetchStage();
+    void issueStage();
+    void vecDispatchStage();
+    void commitStage();
+    void completeInst(RobInst *inst);
+    void tryWakeReady(RobInst *inst);
+    bool fuAvailable(FuClass fu, Tick now);
+    void consumeFu(FuClass fu, Tick now);
+    void maybeFinish();
+
+    StatGroup &stats;
+    MemSystem &mem;
+    BackingStore &backing;
+    BigCoreParams p;
+    std::string prefix = "big.";
+
+    ProgramPtr prog;
+    ArchState arch;
+    std::function<void()> onDone;
+    VectorEngine *vengine = nullptr;
+
+    bool running = false;
+    bool haltSeen = false;
+
+    // front end
+    GsharePredictor bpred;
+    FetchBuffer fetchBuf;
+    Tick fetchStallUntil = 0;
+    RobInst *blockingBranch = nullptr;  ///< unresolved mispredict
+
+    // ROB / rename
+    std::deque<std::unique_ptr<RobInst>> rob;
+    std::array<RobInst *, 64> lastWriter{};
+    std::unordered_map<Addr, RobInst *> lastStoreToLine;
+    std::map<SeqNum, RobInst *> readyQueue;
+    /** Vector instructions awaiting dispatch, program order. */
+    std::deque<RobInst *> vecQueue;
+    SeqNum nextSeq = 1;
+
+    // execution resources
+    std::array<unsigned, 16> fuInUseThisCycle{};
+    Tick fuCycleTick = 0;                 ///< cycle the counters refer to
+    std::array<Tick, 16> unpipedBusyUntil{};
+    unsigned loadsInFlight = 0;
+    unsigned storesInFlight = 0;
+    unsigned vecOutstanding = 0;
+
+    std::uint64_t numRetired = 0;
+    std::uint64_t numCycles = 0;
+};
+
+} // namespace bvl
+
+#endif // BVL_CPU_BIG_CORE_HH

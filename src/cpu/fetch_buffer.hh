@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Front-end fetch line buffer with next-line prefetch.
+ *
+ * Holds a small window of instruction-cache lines that have completed
+ * their L1I access. A demand request for a new line also prefetches
+ * the sequential next line, modelling a pipelined front end: straight-
+ * line code streams at full fetch width, while taken branches to cold
+ * lines pay the L1I (or miss) latency.
+ */
+
+#ifndef BVL_CPU_FETCH_BUFFER_HH
+#define BVL_CPU_FETCH_BUFFER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "mem/mem_system.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+class FetchBuffer
+{
+  public:
+    FetchBuffer(MemSystem &mem, unsigned coreId, StatGroup &stats,
+                std::string statPrefix, unsigned capacity = 8,
+                unsigned prefetchDepth = 3)
+        : mem(mem), coreId(coreId), stats(stats),
+          prefix(std::move(statPrefix)), capacity(capacity),
+          prefetchDepth(prefetchDepth)
+    {}
+
+    /**
+     * True if the line containing @p addr is in the buffer. If not,
+     * issues a demand fetch (plus a next-line prefetch) and arranges
+     * for @p wakeup when the demand line arrives.
+     */
+    bool
+    lineReady(Addr addr, const std::function<void()> &wakeup)
+    {
+        Addr line = lineOf(addr);
+        if (ready.count(line)) {
+            for (unsigned d = 1; d <= prefetchDepth; ++d)
+                prefetch(line + d);
+            return true;
+        }
+        if (!pending.count(line)) {
+            stats.stat(prefix + "fetchLineReqs")++;
+            request(line, wakeup);
+            for (unsigned d = 1; d <= prefetchDepth; ++d)
+                prefetch(line + d);
+        }
+        return false;
+    }
+
+    void
+    reset()
+    {
+        ready.clear();
+        readyOrder.clear();
+        // Pending requests may still complete; their callbacks tolerate
+        // a reset because they only insert into the (cleared) sets.
+        pending.clear();
+    }
+
+  private:
+    void
+    prefetch(Addr line)
+    {
+        if (ready.count(line) || pending.count(line))
+            return;
+        stats.stat(prefix + "fetchPrefetches")++;
+        request(line, nullptr);
+    }
+
+    void
+    request(Addr line, std::function<void()> wakeup)
+    {
+        pending.insert(line);
+        mem.fetchInst(coreId, line << lineShift,
+                      [this, line, wakeup = std::move(wakeup)] {
+            pending.erase(line);
+            insertReady(line);
+            if (wakeup)
+                wakeup();
+        });
+    }
+
+    void
+    insertReady(Addr line)
+    {
+        if (ready.insert(line).second)
+            readyOrder.push_back(line);
+        while (readyOrder.size() > capacity) {
+            ready.erase(readyOrder.front());
+            readyOrder.pop_front();
+        }
+    }
+
+    MemSystem &mem;
+    unsigned coreId;
+    StatGroup &stats;
+    std::string prefix;
+    unsigned capacity;
+    unsigned prefetchDepth;
+
+    std::unordered_set<Addr> ready;
+    std::deque<Addr> readyOrder;
+    std::unordered_set<Addr> pending;
+};
+
+} // namespace bvl
+
+#endif // BVL_CPU_FETCH_BUFFER_HH

@@ -1,0 +1,205 @@
+#include "cpu/little_core.hh"
+
+namespace bvl
+{
+
+LittleCore::LittleCore(ClockDomain &cd, StatGroup &sg, MemSystem &ms,
+                       BackingStore &bs, unsigned core_id,
+                       unsigned vlen_bits, LittleCoreParams params)
+    : Clocked(cd, "little" + std::to_string(core_id)),
+      stats(sg), mem(ms), backing(bs), id(core_id), p(params),
+      prefix("little" + std::to_string(core_id) + "."),
+      arch(vlen_bits),
+      fetchBuf(ms, core_id, sg, prefix)
+{
+    regReadyAt.fill(0);
+    regProducer.fill(ProducerKind::none);
+    fuBusyUntil.fill(0);
+}
+
+void
+LittleCore::runProgram(ProgramPtr program,
+                       const std::vector<std::pair<RegId, std::uint64_t>>
+                           &args,
+                       std::function<void()> done)
+{
+    bvl_assert(!running, "little%u: runProgram while busy", id);
+    prog = std::move(program);
+    onDone = std::move(done);
+    arch.reset();
+    for (const auto &[reg, value] : args) {
+        if (isFReg(reg))
+            arch.setF(reg, value);
+        else
+            arch.setX(reg, value);
+    }
+    running = true;
+    haltSeen = false;
+    haltIssued = false;
+    fetchQueue.clear();
+    fetchBuf.reset();
+    fetchStallUntil = 0;
+    regReadyAt.fill(0);
+    regProducer.fill(ProducerKind::none);
+    fuBusyUntil.fill(0);
+    outstandingLoads = 0;
+    outstandingStores = 0;
+    activate();
+}
+
+void
+LittleCore::recordStall(StallCause cause)
+{
+    stats.stat(prefix + "stall." + stallName(cause))++;
+}
+
+void
+LittleCore::fetchStage()
+{
+    auto &eq = clock().eventQueue();
+    if (haltSeen || fetchStallUntil > eq.now() ||
+        fetchQueue.size() >= p.fetchQueueDepth) {
+        return;
+    }
+    if (arch.pc >= prog->size())
+        return;
+
+    Addr instAddr = prog->instAddr(arch.pc);
+    if (!fetchBuf.lineReady(instAddr, [this] { activate(); }))
+        return;
+
+    // Functional-first execution at fetch (oracle EX).
+    ExecTrace tr = stepOne(arch, *prog, backing);
+    fetchQueue.push_back(PendingInst{std::move(tr)});
+    stats.stat(prefix + "fetched")++;
+
+    const ExecTrace &t = fetchQueue.back().trace;
+    if (t.inst->op == Op::halt)
+        haltSeen = true;
+    if (t.isBranch && t.taken)
+        fetchStallUntil =
+            eq.now() + clock().cyclesToTicks(p.takenBranchPenalty);
+}
+
+bool
+LittleCore::issueStage()
+{
+    auto &eq = clock().eventQueue();
+    Tick now = eq.now();
+
+    if (fetchQueue.empty()) {
+        recordStall(StallCause::misc);
+        return false;
+    }
+
+    const ExecTrace &t = fetchQueue.front().trace;
+    const Instr &in = *t.inst;
+    bvl_assert(!in.isVector(),
+               "little%u executed vector instruction in scalar mode", id);
+
+    FuClass fu = in.traits().fu;
+
+    // Source operand readiness.
+    for (RegId r : {in.rs1, in.rs2, in.rs3}) {
+        if (r == regIdInvalid || r >= 64)
+            continue;
+        if (regReadyAt[r] > now) {
+            recordStall(regProducer[r] == ProducerKind::memory
+                        ? StallCause::rawMem : StallCause::rawLlfu);
+            return false;
+        }
+    }
+
+    // Structural: FU occupancy and LSQ space.
+    if (fu != FuClass::nop && fuBusyUntil[unsigned(fu)] > now) {
+        recordStall(StallCause::structural);
+        return false;
+    }
+    if (in.op == Op::load && outstandingLoads >= p.lsqEntries) {
+        recordStall(StallCause::structural);
+        return false;
+    }
+    if (in.op == Op::store && outstandingStores >= p.lsqEntries) {
+        recordStall(StallCause::structural);
+        return false;
+    }
+
+    // --- issue ---
+    if (fu != FuClass::nop) {
+        Cycles lat = p.fu.latency(fu);
+        fuBusyUntil[unsigned(fu)] =
+            now + clock().cyclesToTicks(p.fu.pipelined(fu) ? 1 : lat);
+    }
+
+    if (in.op == Op::halt) {
+        haltIssued = true;
+    } else if (in.op == Op::load) {
+        RegId rd = in.rd;
+        regReadyAt[rd] = maxTick;
+        regProducer[rd] = ProducerKind::memory;
+        ++outstandingLoads;
+        ++regGen[rd];
+        std::uint32_t gen = regGen[rd];
+        mem.accessData(id, t.addr, false, [this, rd, gen] {
+            --outstandingLoads;
+            if (regGen[rd] == gen)
+                regReadyAt[rd] = clock().eventQueue().now();
+            activate();
+            maybeFinish();
+        });
+    } else if (in.op == Op::store) {
+        ++outstandingStores;
+        mem.accessData(id, t.addr, true, [this] {
+            --outstandingStores;
+            activate();
+            maybeFinish();
+        });
+    } else if (in.rd != regIdInvalid && in.rd < 64) {
+        Cycles lat = p.fu.latency(fu);
+        regReadyAt[in.rd] = now + clock().cyclesToTicks(lat);
+        regProducer[in.rd] = FuLatencies::longLatency(fu)
+            ? ProducerKind::longFu : ProducerKind::shortOp;
+        ++regGen[in.rd];
+    }
+
+    fetchQueue.pop_front();
+    ++numRetired;
+    stats.stat(prefix + "retired")++;
+    recordStall(StallCause::busy);
+    return true;
+}
+
+void
+LittleCore::maybeFinish()
+{
+    if (!running || !haltIssued)
+        return;
+    if (outstandingLoads != 0 || outstandingStores != 0)
+        return;
+    running = false;
+    if (onDone) {
+        // Defer: the callback may immediately start another program.
+        auto done = std::move(onDone);
+        onDone = nullptr;
+        clock().eventQueue().schedule(clock().cyclesToTicks(1),
+                                      std::move(done));
+    }
+}
+
+bool
+LittleCore::tick()
+{
+    if (!running)
+        return false;
+    ++numCycles;
+    stats.stat(prefix + "cycles")++;
+    fetchStage();
+    if (!haltIssued)
+        issueStage();
+    else
+        recordStall(StallCause::misc);   // draining memory
+    maybeFinish();
+    return running;
+}
+
+} // namespace bvl

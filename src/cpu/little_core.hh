@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-order single-issue little core (scalar mode).
+ *
+ * Functional-first: instructions are executed against the shared
+ * backing store at fetch time (oracle EX); the pipeline model then
+ * schedules their timing through a scoreboard with per-register ready
+ * times, a small non-blocking load/store queue, and the FuLatencies
+ * table. Every stall cycle is attributed to one StallCause so the
+ * paper's Figure-7 breakdown can be reported.
+ *
+ * In vector mode the core's pipeline is modelled by core::VectorLane
+ * (paper: the core's front end is disabled and its back end executes
+ * VCU micro-ops); this class then sits idle.
+ */
+
+#ifndef BVL_CPU_LITTLE_CORE_HH
+#define BVL_CPU_LITTLE_CORE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+
+#include "cpu/fetch_buffer.hh"
+#include "cpu/fu_params.hh"
+#include "isa/arch_state.hh"
+#include "mem/mem_system.hh"
+#include "sim/clock_domain.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+struct LittleCoreParams
+{
+    FuLatencies fu{};
+    unsigned lsqEntries = 4;
+    Cycles takenBranchPenalty = 2;
+    unsigned fetchQueueDepth = 4;
+};
+
+class LittleCore : public Clocked
+{
+  public:
+    LittleCore(ClockDomain &cd, StatGroup &stats, MemSystem &mem,
+               BackingStore &backing, unsigned coreId, unsigned vlenBits,
+               LittleCoreParams params = {});
+
+    /**
+     * Start executing @p prog with argument registers @p args; @p done
+     * fires when the program halts and all memory has drained.
+     */
+    void runProgram(ProgramPtr prog,
+                    const std::vector<std::pair<RegId, std::uint64_t>>
+                        &args,
+                    std::function<void()> done);
+
+    bool busy() const { return running; }
+    unsigned coreId() const { return id; }
+    ArchState &archState() { return arch; }
+
+    /** Dynamic instructions retired by this core. */
+    std::uint64_t retired() const { return numRetired; }
+
+    /** Total cycles this core was running a program. */
+    std::uint64_t activeCycles() const { return numCycles; }
+
+  protected:
+    bool tick() override;
+
+  private:
+    struct PendingInst
+    {
+        ExecTrace trace;
+    };
+
+    void fetchStage();
+    bool issueStage();
+    void recordStall(StallCause cause);
+    void maybeFinish();
+
+    StatGroup &stats;
+    MemSystem &mem;
+    BackingStore &backing;
+    unsigned id;
+    LittleCoreParams p;
+    std::string prefix;
+
+    ProgramPtr prog;
+    ArchState arch;
+    std::function<void()> onDone;
+    bool running = false;
+    bool haltSeen = false;     ///< halt fetched; stop fetching
+    bool haltIssued = false;
+
+    // fetch state
+    std::deque<PendingInst> fetchQueue;
+    FetchBuffer fetchBuf;
+    Tick fetchStallUntil = 0;
+
+    // scoreboard
+    std::array<Tick, 64> regReadyAt{};          // x0-x31, f0-f31
+    std::array<ProducerKind, 64> regProducer{};
+    /** Write generation per register: a load callback only marks its
+     *  destination ready if no younger producer overwrote it. */
+    std::array<std::uint32_t, 64> regGen{};
+    std::array<Tick, 16> fuBusyUntil{};          // per FuClass
+    unsigned outstandingLoads = 0;
+    unsigned outstandingStores = 0;
+
+    std::uint64_t numRetired = 0;
+    std::uint64_t numCycles = 0;
+};
+
+} // namespace bvl
+
+#endif // BVL_CPU_LITTLE_CORE_HH

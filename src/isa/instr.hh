@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Static (decoded) instruction representation.
+ *
+ * Programs are sequences of Instr; the "PC" is simply an index into
+ * the sequence, and branch targets are resolved indices. This keeps
+ * the front ends honest about fetch traffic (each Instr occupies four
+ * bytes of simulated instruction memory) without dragging in a binary
+ * encoder/decoder that the evaluation does not need.
+ */
+
+#ifndef BVL_ISA_INSTR_HH
+#define BVL_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+namespace bvl
+{
+
+/** Size of one encoded instruction in simulated memory (bytes). */
+constexpr unsigned instBytes = 4;
+
+struct Instr
+{
+    Op op = Op::nop;
+    RegId rd = regIdInvalid;
+    RegId rs1 = regIdInvalid;
+    RegId rs2 = regIdInvalid;
+    RegId rs3 = regIdInvalid;  ///< third source (FMA accumulator input)
+    std::int64_t imm = 0;
+
+    /**
+     * Element width in bytes: scalar FP/memory operand width, or the
+     * SEW requested by vsetvli, or the element width of a vector
+     * memory access.
+     */
+    std::uint8_t ew = 8;
+
+    /** Sign-extend loaded value (scalar load only). */
+    bool sign = true;
+
+    /** Vector instruction is predicated by mask register v0. */
+    bool masked = false;
+
+    /** Operand form of a vector instruction's scalar source. */
+    VSrc2 vsrc = VSrc2::none;
+
+    /** Resolved branch/jump target (instruction index), -1 if none. */
+    std::int32_t target = -1;
+
+    const OpTraits &traits() const { return opTraits(op); }
+
+    bool isVector() const { return traits().isVector; }
+    bool isVecMem() const { return traits().isVecMem; }
+    bool isBranch() const
+    { return traits().fu == FuClass::branch; }
+    bool isMem() const
+    { return op == Op::load || op == Op::store || traits().isVecMem; }
+
+    /** Disassembly for debugging and test failure messages. */
+    std::string toString() const;
+};
+
+} // namespace bvl
+
+#endif // BVL_ISA_INSTR_HH

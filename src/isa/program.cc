@@ -1,0 +1,40 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace bvl
+{
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    if (rd != regIdInvalid)
+        os << " " << regName(rd);
+    if (rs1 != regIdInvalid)
+        os << ", " << regName(rs1);
+    if (rs2 != regIdInvalid)
+        os << ", " << regName(rs2);
+    if (rs3 != regIdInvalid)
+        os << ", " << regName(rs3);
+    if (imm != 0 || op == Op::li)
+        os << ", #" << imm;
+    if (target >= 0)
+        os << " -> @" << target;
+    if (masked)
+        os << " [v0.t]";
+    return os.str();
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    os << _name << " (" << code.size() << " insts):\n";
+    for (std::size_t i = 0; i < code.size(); ++i)
+        os << "  @" << i << ": " << code[i].toString() << "\n";
+    return os.str();
+}
+
+} // namespace bvl

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store for functional execution.
+ *
+ * All cores and vector engines of one simulated system share a single
+ * BackingStore: the timing models (caches, VMU) carry no data, only
+ * tags and occupancy, so functional correctness is independent of
+ * timing ("timing-directed" simulation, DESIGN.md §5).
+ */
+
+#ifndef BVL_MEM_BACKING_STORE_HH
+#define BVL_MEM_BACKING_STORE_HH
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bvl
+{
+
+class BackingStore
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageBytes = Addr(1) << pageShift;
+
+    /** Read @p n bytes at @p addr into @p out. */
+    void
+    read(Addr addr, void *out, std::size_t n) const
+    {
+        auto *dst = static_cast<std::uint8_t *>(out);
+        while (n > 0) {
+            Addr off = addr & (pageBytes - 1);
+            std::size_t chunk = std::min<std::size_t>(n, pageBytes - off);
+            auto it = pages.find(addr >> pageShift);
+            if (it == pages.end())
+                std::memset(dst, 0, chunk);
+            else
+                std::memcpy(dst, it->second.data() + off, chunk);
+            dst += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    /** Write @p n bytes from @p src at @p addr. */
+    void
+    write(Addr addr, const void *src, std::size_t n)
+    {
+        auto *p = static_cast<const std::uint8_t *>(src);
+        while (n > 0) {
+            Addr off = addr & (pageBytes - 1);
+            std::size_t chunk = std::min<std::size_t>(n, pageBytes - off);
+            auto &page = pages[addr >> pageShift];
+            if (page.empty())
+                page.resize(pageBytes, 0);
+            std::memcpy(page.data() + off, p, chunk);
+            p += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    /** Typed read of a trivially copyable value. */
+    template <typename T>
+    T
+    readT(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Typed write of a trivially copyable value. */
+    template <typename T>
+    void
+    writeT(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &value, sizeof(T));
+    }
+
+    /** Zero-extended integer load of @p size bytes (1/2/4/8). */
+    std::uint64_t
+    readInt(Addr addr, unsigned size) const
+    {
+        std::uint64_t v = 0;
+        bvl_assert(size <= 8, "bad access size %u", size);
+        read(addr, &v, size);
+        return v;
+    }
+
+    /** Integer store of the low @p size bytes of @p value. */
+    void
+    writeInt(Addr addr, std::uint64_t value, unsigned size)
+    {
+        bvl_assert(size <= 8, "bad access size %u", size);
+        write(addr, &value, size);
+    }
+
+    /** Number of allocated pages (for tests / memory accounting). */
+    std::size_t allocatedPages() const { return pages.size(); }
+
+  private:
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages;
+};
+
+} // namespace bvl
+
+#endif // BVL_MEM_BACKING_STORE_HH

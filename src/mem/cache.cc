@@ -1,0 +1,212 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+namespace bvl
+{
+
+Cache::Cache(ClockDomain &cd, StatGroup &sg, CacheParams params,
+             MemLevel *next_level, int l1_id)
+    : clock(cd), stats(sg), p(std::move(params)), next(next_level),
+      l1Id(l1_id)
+{
+    bvl_assert(p.sizeBytes % (p.assoc * lineBytes) == 0,
+               "%s: size not divisible by assoc*line", p.name.c_str());
+    numSets = p.sizeBytes / (p.assoc * lineBytes);
+    bvl_assert((numSets & (numSets - 1)) == 0,
+               "%s: set count must be a power of two", p.name.c_str());
+    sets.assign(numSets, std::vector<Way>(p.assoc));
+}
+
+unsigned
+Cache::setIndex(Addr lineNum) const
+{
+    if (indexMode == IndexMode::vectorBanked)
+        return static_cast<unsigned>((lineNum / p.numBanks) % numSets);
+    return static_cast<unsigned>(lineNum % numSets);
+}
+
+Cache::Way *
+Cache::findWay(Addr lineNum, unsigned set)
+{
+    for (auto &way : sets[set])
+        if (way.valid && way.line == lineNum)
+            return &way;
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(Addr lineNum, unsigned set) const
+{
+    for (const auto &way : sets[set])
+        if (way.valid && way.line == lineNum)
+            return &way;
+    return nullptr;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    Addr lineNum = lineOf(lineAlign(addr));
+    return findWay(lineNum, setIndex(lineNum)) != nullptr;
+}
+
+void
+Cache::invalidate(Addr lineAddr)
+{
+    Addr lineNum = lineOf(lineAlign(lineAddr));
+    auto it = lineMap.find(lineNum);
+    if (it == lineMap.end())
+        return;
+    if (Way *way = findWay(lineNum, it->second)) {
+        way->valid = false;
+        way->dirty = false;
+    }
+    lineMap.erase(it);
+    stats.stat(p.name + ".invalidations")++;
+}
+
+void
+Cache::access(Addr addr, bool isWrite, MemCallback done)
+{
+    Addr lineNum = lineOf(lineAlign(addr));
+    auto &eq = clock.eventQueue();
+
+    // Tag-port occupancy: portsPerCycle lookups per cycle.
+    Tick start = std::max(eq.now(), portNextFree);
+    portNextFree = start + clock.periodPs() / p.portsPerCycle;
+
+    Tick tagDone = start + clock.cyclesToTicks(p.hitLatency);
+    stats.stat(p.name + ".accesses")++;
+
+    unsigned set = setIndex(lineNum);
+    if (Way *way = findWay(lineNum, set)) {
+        way->lastUse = eq.now();
+        way->dirty |= isWrite;
+        stats.stat(p.name + ".hits")++;
+        if (done)
+            eq.scheduleAt(tagDone, std::move(done));
+        return;
+    }
+
+    stats.stat(p.name + ".misses")++;
+    handleMiss(lineNum, isWrite, std::move(done), tagDone);
+}
+
+void
+Cache::handleMiss(Addr lineNum, bool isWrite, MemCallback done,
+                  Tick readyTick)
+{
+    auto &eq = clock.eventQueue();
+
+    auto it = mshrs.find(lineNum);
+    if (it != mshrs.end()) {
+        // Secondary miss: piggyback on the outstanding request.
+        it->second.isWrite |= isWrite;
+        if (done)
+            it->second.waiters.push_back(std::move(done));
+        return;
+    }
+
+    if (mshrs.size() >= p.numMshrs) {
+        stats.stat(p.name + ".mshrFull")++;
+        pendingQueue.emplace_back(lineNum, isWrite, std::move(done));
+        return;
+    }
+
+    Mshr &mshr = mshrs[lineNum];
+    mshr.isWrite = isWrite;
+    if (done)
+        mshr.waiters.push_back(std::move(done));
+
+    Tick delay = readyTick > eq.now() ? readyTick - eq.now() : 0;
+    eq.schedule(delay, [this, lineNum] {
+        auto mit = mshrs.find(lineNum);
+        bvl_assert(mit != mshrs.end(), "%s: lost MSHR", p.name.c_str());
+        next->request(l1Id, lineNum << lineShift, mit->second.isWrite,
+                      [this, lineNum] {
+            auto &eq2 = clock.eventQueue();
+            auto mit2 = mshrs.find(lineNum);
+            bvl_assert(mit2 != mshrs.end(), "%s: MSHR vanished",
+                       p.name.c_str());
+            bool isWrite = mit2->second.isWrite;
+            auto waiters = std::move(mit2->second.waiters);
+            mshrs.erase(mit2);
+            fill(lineNum, isWrite);
+            // One-cycle fill-forward latency to the waiting requests.
+            Tick respond = eq2.now() + clock.cyclesToTicks(1);
+            for (auto &w : waiters)
+                eq2.scheduleAt(respond, std::move(w));
+            issuePending();
+        });
+    });
+}
+
+void
+Cache::fill(Addr lineNum, bool isWrite)
+{
+    // If this cache already holds the line under the *other* indexing
+    // mode (mode switched while it was resident), drop the stale copy:
+    // the coherence protocol migrates the line to its new home set.
+    auto stale = lineMap.find(lineNum);
+    if (stale != lineMap.end()) {
+        if (Way *old = findWay(lineNum, stale->second)) {
+            old->valid = false;
+            old->dirty = false;
+        }
+        lineMap.erase(stale);
+    }
+
+    unsigned set = setIndex(lineNum);
+    Way *victim = nullptr;
+    for (auto &way : sets[set]) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    bvl_assert(victim, "%s: no victim way", p.name.c_str());
+
+    if (victim->valid) {
+        stats.stat(p.name + ".evictions")++;
+        lineMap.erase(victim->line);
+        next->evicted(l1Id, victim->line << lineShift);
+        if (victim->dirty) {
+            stats.stat(p.name + ".writebacks")++;
+            next->request(l1Id, victim->line << lineShift, true,
+                          MemCallback());
+        }
+    }
+
+    victim->valid = true;
+    victim->line = lineNum;
+    victim->dirty = isWrite;
+    victim->lastUse = clock.eventQueue().now();
+    lineMap[lineNum] = set;
+    stats.stat(p.name + ".fills")++;
+}
+
+void
+Cache::issuePending()
+{
+    while (!pendingQueue.empty() && mshrs.size() < p.numMshrs) {
+        auto [lineNum, isWrite, done] = std::move(pendingQueue.front());
+        pendingQueue.pop_front();
+        // Re-check the tags: the line may have been filled meanwhile.
+        unsigned set = setIndex(lineNum);
+        if (Way *way = findWay(lineNum, set)) {
+            way->dirty |= isWrite;
+            way->lastUse = clock.eventQueue().now();
+            if (done)
+                clock.eventQueue().schedule(clock.cyclesToTicks(1),
+                                            std::move(done));
+            continue;
+        }
+        handleMiss(lineNum, isWrite, std::move(done),
+                   clock.eventQueue().now());
+    }
+}
+
+} // namespace bvl

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Non-blocking set-associative cache timing model.
+ *
+ * The cache tracks tags, LRU state, dirtiness and MSHRs but no data.
+ * Throughput is one tag lookup per cycle; hits respond after the hit
+ * latency, misses allocate an MSHR and forward a line request to the
+ * next level. Reconfigurable L1 data caches support two set-indexing
+ * modes (IndexMode); a line filled in one mode is findable only in that
+ * mode's set, which reproduces the paper's lazy eviction/migration of
+ * wrongly-banked lines after a mode switch.
+ */
+
+#ifndef BVL_MEM_CACHE_HH
+#define BVL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "sim/clock_domain.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+/** Construction parameters of one Cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    unsigned sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    Cycles hitLatency = 2;
+    unsigned numMshrs = 8;
+    /** Requests the cache can accept per cycle (L2 of 1bDV uses >1). */
+    unsigned portsPerCycle = 1;
+    /** Number of banks used when indexing in vectorBanked mode. */
+    unsigned numBanks = 4;
+};
+
+/**
+ * Interface to the level below a cache (another cache or DRAM), plus
+ * a hook for sharer bookkeeping on evictions.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Request one line. @p requesterId identifies the L1 for directory
+     * purposes (-1 for requests not from an L1).
+     */
+    virtual void request(int requesterId, Addr lineAddr, bool isWrite,
+                         MemCallback done) = 0;
+
+    /** An L1 dropped its copy of @p lineAddr (eviction/invalidation). */
+    virtual void evicted(int requesterId, Addr lineAddr) {
+        (void)requesterId; (void)lineAddr;
+    }
+};
+
+class Cache
+{
+  public:
+    Cache(ClockDomain &cd, StatGroup &stats, CacheParams params,
+          MemLevel *next, int l1Id = -1);
+
+    /**
+     * Access one cache line. @p done fires when the line is present
+     * (load use / store completion time).
+     */
+    void access(Addr addr, bool isWrite, MemCallback done);
+
+    /** Switch set-indexing mode (vector-mode entry/exit). */
+    void setIndexMode(IndexMode mode) { indexMode = mode; }
+    IndexMode getIndexMode() const { return indexMode; }
+
+    /** Drop a line (directory invalidation); no timing charged here. */
+    void invalidate(Addr lineAddr);
+
+    /** Tag-only presence check under the current mode (tests). */
+    bool probe(Addr addr) const;
+
+    /** True if the line is resident in any set (tests). */
+    bool residentAnywhere(Addr addr) const
+    { return lineMap.count(lineOf(lineAlign(addr))) != 0; }
+
+    const CacheParams &params() const { return p; }
+    const std::string &name() const { return p.name; }
+
+    /** Fraction of accesses that missed (tests / reporting). */
+    double
+    missRate() const
+    {
+        auto a = stats.value(p.name + ".accesses");
+        return a == 0 ? 0.0 : double(stats.value(p.name + ".misses")) / a;
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr line = 0;       ///< full line number (addr >> lineShift)
+        bool dirty = false;
+        Tick lastUse = 0;
+    };
+
+    struct Mshr
+    {
+        bool isWrite = false;
+        std::vector<MemCallback> waiters;
+    };
+
+    unsigned setIndex(Addr lineNum) const;
+    Way *findWay(Addr lineNum, unsigned set);
+    const Way *findWay(Addr lineNum, unsigned set) const;
+    void fill(Addr lineNum, bool isWrite);
+    void handleMiss(Addr lineNum, bool isWrite, MemCallback done,
+                    Tick readyTick);
+    void issuePending();
+
+    ClockDomain &clock;
+    StatGroup &stats;
+    CacheParams p;
+    MemLevel *next;
+    int l1Id;
+
+    unsigned numSets;
+    IndexMode indexMode = IndexMode::scalarPrivate;
+
+    std::vector<std::vector<Way>> sets;
+    /** lineNum -> set holding it (unique per cache). */
+    std::unordered_map<Addr, unsigned> lineMap;
+    std::unordered_map<Addr, Mshr> mshrs;
+    /** Requests stalled on a full MSHR file. */
+    std::deque<std::tuple<Addr, bool, MemCallback>> pendingQueue;
+
+    /** Tag-port occupancy: next tick a new lookup can start. */
+    Tick portNextFree = 0;
+};
+
+} // namespace bvl
+
+#endif // BVL_MEM_CACHE_HH

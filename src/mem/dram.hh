@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DRAM timing model: fixed access latency plus a channel-bandwidth
+ * occupancy, matching the paper's single-channel LPDDR-class memory.
+ */
+
+#ifndef BVL_MEM_DRAM_HH
+#define BVL_MEM_DRAM_HH
+
+#include <algorithm>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/mem_types.hh"
+#include "sim/clock_domain.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+struct DramParams
+{
+    std::string name = "dram";
+    double latencyNs = 80.0;
+    double bandwidthGBps = 25.6;
+};
+
+class Dram : public MemLevel
+{
+  public:
+    Dram(ClockDomain &cd, StatGroup &sg, DramParams params)
+        : clock(cd), stats(sg), p(std::move(params))
+    {
+        latencyTicks = static_cast<Tick>(p.latencyNs * ticksPerNs);
+        // Ticks to transfer one line at the channel bandwidth.
+        // bandwidthGBps == bytes/ns, so ticks = bytes / (GB/s) * 1000.
+        lineTicks = static_cast<Tick>(
+            lineBytes / p.bandwidthGBps * ticksPerNs + 0.5);
+    }
+
+    void
+    request(int, Addr, bool isWrite, MemCallback done) override
+    {
+        auto &eq = clock.eventQueue();
+        Tick start = std::max(eq.now(), channelNextFree);
+        channelNextFree = start + lineTicks;
+        stats.stat(p.name + (isWrite ? ".writes" : ".reads"))++;
+        if (done)
+            eq.scheduleAt(start + latencyTicks, std::move(done));
+    }
+
+  private:
+    ClockDomain &clock;
+    StatGroup &stats;
+    DramParams p;
+    Tick latencyTicks;
+    Tick lineTicks;
+    Tick channelNextFree = 0;
+};
+
+} // namespace bvl
+
+#endif // BVL_MEM_DRAM_HH

@@ -1,0 +1,87 @@
+#include "mem/mem_system.hh"
+
+namespace bvl
+{
+
+MemSystem::MemSystem(ClockDomain &uncore, StatGroup &sg,
+                     MemSystemParams params)
+    : stats(sg), p(std::move(params))
+{
+    bankMap.numBanks = p.numLittle;
+
+    dram = std::make_unique<Dram>(uncore, stats, p.dram);
+    l2front = std::make_unique<L2Front>(uncore, stats, p.l2,
+                                        p.invalPenalty, dram.get());
+
+    for (unsigned i = 0; i < p.numLittle; ++i) {
+        CacheParams dp = p.littleL1D;
+        dp.name = "little" + std::to_string(i) + ".l1d";
+        dp.numBanks = p.numLittle;
+        littleL1Ds.push_back(std::make_unique<Cache>(
+            uncore, stats, dp, l2front.get(), static_cast<int>(i)));
+        l2front->addL1(littleL1Ds.back().get());
+
+        CacheParams ip = p.littleL1I;
+        ip.name = "little" + std::to_string(i) + ".l1i";
+        littleL1Is.push_back(std::make_unique<Cache>(
+            uncore, stats, ip, l2front.get(), -1));
+    }
+
+    CacheParams bdp = p.bigL1D;
+    bdp.name = "big.l1d";
+    bigL1Dc = std::make_unique<Cache>(uncore, stats, bdp, l2front.get(),
+                                      static_cast<int>(p.numLittle));
+    l2front->addL1(bigL1Dc.get());
+
+    CacheParams bip = p.bigL1I;
+    bip.name = "big.l1i";
+    bigL1Ic = std::make_unique<Cache>(uncore, stats, bip, l2front.get(),
+                                      -1);
+}
+
+void
+MemSystem::fetchInst(unsigned coreId, Addr addr, MemCallback done)
+{
+    stats.stat("sys.ifetchReqs")++;
+    if (coreId == bigCoreId())
+        bigL1Ic->access(addr, false, std::move(done));
+    else
+        littleL1Is[coreId]->access(addr, false, std::move(done));
+}
+
+void
+MemSystem::accessData(unsigned coreId, Addr addr, bool isWrite,
+                      MemCallback done)
+{
+    stats.stat("sys.dataReqs")++;
+    if (coreId == bigCoreId())
+        bigL1Dc->access(addr, isWrite, std::move(done));
+    else
+        littleL1Ds[coreId]->access(addr, isWrite, std::move(done));
+}
+
+void
+MemSystem::accessBank(unsigned bank, Addr addr, bool isWrite,
+                      MemCallback done)
+{
+    bvl_assert(bank < p.numLittle, "bad bank %u", bank);
+    stats.stat("sys.dataReqs")++;
+    littleL1Ds[bank]->access(addr, isWrite, std::move(done));
+}
+
+void
+MemSystem::accessL2(Addr addr, bool isWrite, MemCallback done)
+{
+    stats.stat("sys.dataReqs")++;
+    l2front->request(-1, lineAlign(addr), isWrite, std::move(done));
+}
+
+void
+MemSystem::setVectorMode(bool on)
+{
+    auto mode = on ? IndexMode::vectorBanked : IndexMode::scalarPrivate;
+    for (auto &l1d : littleL1Ds)
+        l1d->setIndexMode(mode);
+}
+
+} // namespace bvl

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Assembled memory hierarchy of one simulated SoC: per-core L1I/L1D, a
+ * shared L2 with a directory (sharer bitmaps + invalidate-on-write),
+ * and DRAM. Provides the three access paths the cores and vector
+ * engines use:
+ *
+ *  - instruction fetches (core -> its L1I -> L2 -> DRAM)
+ *  - scalar data accesses (core -> its L1D -> L2 -> DRAM)
+ *  - vector-mode banked accesses (VMSU -> little L1D bank -> L2 -> DRAM)
+ *  - high-bandwidth engine accesses (DVE -> L2 -> DRAM)
+ *
+ * Core/L1 numbering: ids [0, numLittle) are the little cores,
+ * id numLittle is the big core.
+ */
+
+#ifndef BVL_MEM_MEM_SYSTEM_HH
+#define BVL_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mem_types.hh"
+#include "sim/clock_domain.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+
+struct MemSystemParams
+{
+    unsigned numLittle = 4;
+
+    CacheParams littleL1I{"l1i", 32 * 1024, 2, 2, 4, 1, 4};
+    CacheParams littleL1D{"l1d", 32 * 1024, 2, 2, 8, 1, 4};
+    CacheParams bigL1I{"bigl1i", 64 * 1024, 4, 2, 8, 1, 4};
+    CacheParams bigL1D{"bigl1d", 64 * 1024, 4, 2, 16, 1, 4};
+    CacheParams l2{"l2", 2 * 1024 * 1024, 16, 20, 32, 1, 4};
+    DramParams dram{};
+
+    /** Extra L2 cycles charged when a write miss invalidates sharers. */
+    Cycles invalPenalty = 8;
+};
+
+/**
+ * L2 front end: a shared Cache plus an inclusive-enough directory of
+ * which L1Ds hold each line. Writes invalidate all other sharers; the
+ * requester is charged an extra penalty when that happens.
+ */
+class L2Front : public MemLevel
+{
+  public:
+    L2Front(ClockDomain &cd, StatGroup &sg, const CacheParams &l2p,
+            Cycles inval_penalty, MemLevel *dram)
+        : clock(cd), stats(sg), invalPenalty(inval_penalty),
+          cache(cd, sg, l2p, dram)
+    {}
+
+    /** Register an L1D participating in coherence. */
+    void
+    addL1(Cache *l1)
+    {
+        l1ds.push_back(l1);
+    }
+
+    void
+    request(int requesterId, Addr lineAddr, bool isWrite,
+            MemCallback done) override
+    {
+        Addr lineNum = lineOf(lineAddr);
+        Cycles extra = 0;
+
+        if (isWrite) {
+            auto it = sharers.find(lineNum);
+            if (it != sharers.end()) {
+                std::uint32_t others = it->second;
+                if (requesterId >= 0)
+                    others &= ~(1u << requesterId);
+                if (others != 0) {
+                    for (unsigned i = 0; i < l1ds.size(); ++i)
+                        if (others & (1u << i))
+                            l1ds[i]->invalidate(lineAddr);
+                    it->second &= ~others;
+                    extra = invalPenalty;
+                    stats.stat("l2.dir.invalidates")++;
+                }
+            }
+        }
+
+        if (requesterId >= 0)
+            sharers[lineNum] |= (1u << requesterId);
+
+        if (extra > 0 && done) {
+            Tick d = clock.cyclesToTicks(extra);
+            auto &eq = clock.eventQueue();
+            cache.access(lineAddr, isWrite,
+                         [&eq, d, cb = std::move(done)]() mutable {
+                             eq.schedule(d, std::move(cb));
+                         });
+        } else {
+            cache.access(lineAddr, isWrite, std::move(done));
+        }
+    }
+
+    void
+    evicted(int requesterId, Addr lineAddr) override
+    {
+        if (requesterId < 0)
+            return;
+        auto it = sharers.find(lineOf(lineAddr));
+        if (it != sharers.end()) {
+            it->second &= ~(1u << requesterId);
+            if (it->second == 0)
+                sharers.erase(it);
+        }
+    }
+
+    Cache &l2cache() { return cache; }
+
+    /** Sharer bitmask of a line (tests). */
+    std::uint32_t
+    sharerMask(Addr lineAddr) const
+    {
+        auto it = sharers.find(lineOf(lineAddr));
+        return it == sharers.end() ? 0 : it->second;
+    }
+
+  private:
+    ClockDomain &clock;
+    StatGroup &stats;
+    Cycles invalPenalty;
+    Cache cache;
+    std::vector<Cache *> l1ds;
+    std::unordered_map<Addr, std::uint32_t> sharers;
+};
+
+class MemSystem
+{
+  public:
+    MemSystem(ClockDomain &uncore, StatGroup &stats,
+              MemSystemParams params = {});
+
+    /** Instruction fetch from core @p coreId (big = numLittle). */
+    void fetchInst(unsigned coreId, Addr addr, MemCallback done);
+
+    /** Scalar data access through core @p coreId's private L1D. */
+    void accessData(unsigned coreId, Addr addr, bool isWrite,
+                    MemCallback done);
+
+    /**
+     * Vector-mode access through L1D bank @p bank of the logically
+     * shared multi-bank cache (VMSU path).
+     */
+    void accessBank(unsigned bank, Addr addr, bool isWrite,
+                    MemCallback done);
+
+    /** Direct L2 access (decoupled vector engine path). */
+    void accessL2(Addr addr, bool isWrite, MemCallback done);
+
+    /**
+     * Enter/exit vector mode: little L1Ds switch to banked indexing.
+     * Resident lines are left in place and migrate on demand, as in
+     * the paper.
+     */
+    void setVectorMode(bool on);
+
+    /** Bank selection for an address (paper's interleaving). */
+    unsigned bankOf(Addr addr) const { return bankMap.bankOf(addr); }
+
+    unsigned numLittle() const { return p.numLittle; }
+    unsigned bigCoreId() const { return p.numLittle; }
+
+    Cache &littleL1D(unsigned i) { return *littleL1Ds[i]; }
+    Cache &littleL1I(unsigned i) { return *littleL1Is[i]; }
+    Cache &bigL1D() { return *bigL1Dc; }
+    Cache &bigL1I() { return *bigL1Ic; }
+    L2Front &l2() { return *l2front; }
+
+  private:
+    StatGroup &stats;
+    MemSystemParams p;
+    BankMap bankMap;
+
+    std::unique_ptr<Dram> dram;
+    std::unique_ptr<L2Front> l2front;
+    std::vector<std::unique_ptr<Cache>> littleL1Ds;
+    std::vector<std::unique_ptr<Cache>> littleL1Is;
+    std::unique_ptr<Cache> bigL1Dc;
+    std::unique_ptr<Cache> bigL1Ic;
+};
+
+} // namespace bvl
+
+#endif // BVL_MEM_MEM_SYSTEM_HH

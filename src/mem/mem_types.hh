@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared memory-system types: callbacks, line math, bank addressing.
+ *
+ * The timing memory system carries no data (DESIGN.md §5): requests are
+ * identified by line address and completed by invoking a callback at
+ * the right simulated time.
+ */
+
+#ifndef BVL_MEM_MEM_TYPES_HH
+#define BVL_MEM_MEM_TYPES_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace bvl
+{
+
+/** Invoked when a memory transaction completes. */
+using MemCallback = std::function<void()>;
+
+/** Cache line size used throughout the simulated systems. */
+constexpr unsigned lineBytes = 64;
+constexpr unsigned lineShift = 6;
+
+inline Addr lineAlign(Addr a) { return a & ~Addr(lineBytes - 1); }
+inline Addr lineOf(Addr a) { return a >> lineShift; }
+
+/**
+ * Bank addressing for the vector-mode logically-shared L1D
+ * (paper Section III-E): the bank bits sit directly above the block
+ * offset so that consecutive cache lines map to consecutive banks,
+ * minimizing bank conflicts for unit-stride streams.
+ */
+struct BankMap
+{
+    unsigned numBanks = 4;   ///< must be a power of two
+
+    unsigned
+    bankOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift) & (numBanks - 1));
+    }
+
+    /** Line address with bank bits stripped (used for set indexing). */
+    Addr
+    bankLocalLine(Addr addr) const
+    {
+        return (addr >> lineShift) / numBanks;
+    }
+};
+
+/** Indexing mode of a reconfigurable L1 data cache. */
+enum class IndexMode : std::uint8_t
+{
+    scalarPrivate,  ///< index bits directly above the block offset
+    vectorBanked,   ///< index bits above the bank bits (paper §III-E)
+};
+
+} // namespace bvl
+
+#endif // BVL_MEM_MEM_TYPES_HH

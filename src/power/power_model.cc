@@ -1,0 +1,30 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+
+namespace bvl
+{
+
+std::vector<PerfPowerPoint>
+paretoFrontier(std::vector<PerfPowerPoint> points)
+{
+    std::vector<PerfPowerPoint> frontier;
+    for (const auto &cand : points) {
+        bool dominated = false;
+        for (const auto &other : points) {
+            if (other.dominates(cand)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(cand);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const auto &a, const auto &b) {
+                  return a.watts < b.watts;
+              });
+    return frontier;
+}
+
+} // namespace bvl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Voltage/frequency power model (paper Section VII, Table VII).
+ *
+ * The paper uses per-cluster average power measured on an Odroid
+ * XU+E (Exynos 5410, per-cluster V/f rails) at four levels per
+ * cluster, and estimates the decoupled vector engine at 1.4x its big
+ * core's power at the same V/f point (the Tarantula ratio). The
+ * published table is partially garbled in our source text; the values
+ * here are reconstructed to match the reported trends (big core
+ * 0.8-1.4 GHz at ~0.4-1.2 W, little cluster 0.6-1.2 GHz at an order
+ * of magnitude less) — see DESIGN.md §5.
+ */
+
+#ifndef BVL_POWER_POWER_MODEL_HH
+#define BVL_POWER_POWER_MODEL_HH
+
+#include <array>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "soc/soc.hh"
+
+namespace bvl
+{
+
+/** One voltage/frequency operating point of a cluster. */
+struct VfLevel
+{
+    const char *name;
+    double freqGhz;
+    double watts;      ///< average cluster power at this level
+};
+
+/** Big-core levels b0..b3 (Table VII). */
+constexpr std::array<VfLevel, 4> bigLevels{{
+    {"b0", 0.8, 0.425},
+    {"b1", 1.0, 0.591},
+    {"b2", 1.2, 0.841},
+    {"b3", 1.4, 1.205},
+}};
+
+/** Little-cluster levels l0..l3 (Table VII). */
+constexpr std::array<VfLevel, 4> littleLevels{{
+    {"l0", 0.6, 0.108},
+    {"l1", 0.8, 0.180},
+    {"l2", 1.0, 0.300},
+    {"l3", 1.2, 0.480},
+}};
+
+/** Tarantula: the decoupled engine draws 1.4x its control core. */
+constexpr double dvePowerRatio = 1.4;
+
+/**
+ * Estimated average system power of a design at the given cluster
+ * levels (paper Section VII-B assumptions: 1bIV-4L and 1b-4VL draw
+ * like 1b-4L; 1bDV adds the engine at the big core's level).
+ */
+inline double
+systemPowerW(Design design, const VfLevel &big, const VfLevel &little)
+{
+    switch (design) {
+      case Design::d1L:
+        return little.watts / 4.0;
+      case Design::d1b:
+      case Design::d1bIV:
+        return big.watts;
+      case Design::d1bDV:
+        return big.watts * (1.0 + dvePowerRatio);
+      case Design::d1b4L:
+      case Design::d1bIV4L:
+      case Design::d1b4VL:
+        return big.watts + little.watts;
+    }
+    return 0.0;
+}
+
+/** A measured (time, power) point of the design space exploration. */
+struct PerfPowerPoint
+{
+    unsigned bigLevel = 0;
+    unsigned littleLevel = 0;
+    double ns = 0.0;
+    double watts = 0.0;
+
+    /** Pareto dominance: strictly better in one axis, >= in both. */
+    bool
+    dominates(const PerfPowerPoint &other) const
+    {
+        return ns <= other.ns && watts <= other.watts &&
+               (ns < other.ns || watts < other.watts);
+    }
+};
+
+/** Extract the Pareto frontier (min time, min power), sorted by power. */
+std::vector<PerfPowerPoint>
+paretoFrontier(std::vector<PerfPowerPoint> points);
+
+} // namespace bvl
+
+#endif // BVL_POWER_POWER_MODEL_HH

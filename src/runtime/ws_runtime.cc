@@ -1,0 +1,183 @@
+#include "runtime/ws_runtime.hh"
+
+namespace bvl
+{
+
+WsRuntime::WsRuntime(Soc &soc, RuntimeParams params)
+    : soc(soc), p(params), rng(params.seed)
+{}
+
+ClockDomain &
+WsRuntime::workerClock(const Worker &worker)
+{
+    return worker.isBig ? soc.bigClk : soc.littleClk;
+}
+
+void
+WsRuntime::run(TaskGraph g, bool useBig,
+               unsigned numLittleWorkers, bool bigRunsVector,
+               std::function<void()> done)
+{
+    bvl_assert(!running, "runtime: run() while busy");
+    bvl_assert(useBig || numLittleWorkers > 0, "runtime: no workers");
+    graph = std::move(g);
+    onDone = std::move(done);
+    running = true;
+    bigVector = bigRunsVector;
+    phaseIdx = 0;
+
+    workers.clear();
+    if (useBig) {
+        Worker w;
+        w.isBig = true;
+        workers.push_back(w);
+    }
+    {
+        unsigned count = std::min<std::size_t>(numLittleWorkers,
+                                               soc.littles.size());
+        for (unsigned i = 0; i < count; ++i) {
+            Worker w;
+            w.isBig = false;
+            w.littleIdx = i;
+            workers.push_back(w);
+        }
+    }
+    startPhase();
+}
+
+void
+WsRuntime::startPhase()
+{
+    if (phaseIdx >= graph.phases.size()) {
+        running = false;
+        soc.stats.stat("runtime.phases") += phaseIdx;
+        if (onDone) {
+            auto done = std::move(onDone);
+            onDone = nullptr;
+            done();
+        }
+        return;
+    }
+
+    const Phase &phase = graph.phases[phaseIdx];
+    for (auto &w : workers) {
+        w.deque.clear();
+        w.idle = true;
+    }
+    // Round-robin initial distribution (a fork tree reaches a similar
+    // spread; stealing corrects any imbalance dynamically).
+    pendingTasks = 0;
+    for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
+        workers[t % workers.size()].deque.push_back(&phase.tasks[t]);
+        ++pendingTasks;
+    }
+    tasksInFlight = 0;
+
+    for (unsigned w = 0; w < workers.size(); ++w)
+        schedule(w);
+}
+
+const Task *
+WsRuntime::trySteal(unsigned thief, unsigned &attempts)
+{
+    attempts = 0;
+    // Bounded random probing: each probe costs stealCost cycles.
+    for (unsigned probe = 0; probe < 2 * workers.size(); ++probe) {
+        ++attempts;
+        unsigned victim =
+            static_cast<unsigned>(rng.below(workers.size()));
+        if (victim == thief)
+            continue;
+        auto &vd = workers[victim].deque;
+        if (!vd.empty()) {
+            const Task *task = vd.back();   // steal from the cold end
+            vd.pop_back();
+            soc.stats.stat("runtime.steals")++;
+            return task;
+        }
+    }
+    return nullptr;
+}
+
+void
+WsRuntime::schedule(unsigned w)
+{
+    Worker &worker = workers[w];
+
+    // Pop own deque first.
+    if (!worker.deque.empty()) {
+        const Task *task = worker.deque.front();
+        worker.deque.pop_front();
+        worker.idle = false;
+        ClockDomain &clk = workerClock(worker);
+        soc.stats.stat("runtime.pops")++;
+        soc.stats.stat("runtime.overheadCycles") += p.popCost;
+        clk.scheduleCycles(p.popCost, [this, w, task] {
+            runTask(w, task);
+        });
+        return;
+    }
+
+    // Steal.
+    unsigned attempts = 0;
+    const Task *stolen = trySteal(w, attempts);
+    if (stolen) {
+        worker.idle = false;
+        ClockDomain &clk = workerClock(worker);
+        soc.stats.stat("runtime.overheadCycles") +=
+            p.stealCost * attempts;
+        clk.scheduleCycles(p.stealCost * attempts, [this, w, stolen] {
+            runTask(w, stolen);
+        });
+        return;
+    }
+
+    // Nothing to do: idle until the phase barrier.
+    worker.idle = true;
+    maybePhaseDone();
+}
+
+void
+WsRuntime::runTask(unsigned w, const Task *task)
+{
+    Worker &worker = workers[w];
+    ++tasksInFlight;
+    --pendingTasks;
+
+    auto finished = [this, w] {
+        --tasksInFlight;
+        schedule(w);
+        maybePhaseDone();
+    };
+
+    if (worker.isBig) {
+        ProgramPtr prog = (bigVector && task->vector) ? task->vector
+                                                      : task->scalar;
+        soc.big->runProgram(prog, task->args, finished);
+    } else {
+        soc.littles[worker.littleIdx]->runProgram(task->scalar,
+                                                  task->args, finished);
+    }
+}
+
+void
+WsRuntime::maybePhaseDone()
+{
+    if (!running || phaseEnding || tasksInFlight != 0 ||
+        pendingTasks != 0) {
+        return;
+    }
+    for (const auto &w : workers)
+        if (!w.deque.empty())
+            return;
+    // Defer the barrier crossing one cycle so that any schedule()
+    // calls still walking the old phase observe a consistent state.
+    phaseEnding = true;
+    soc.littleClk.scheduleCycles(1, [this] {
+        phaseEnding = false;
+        ++phaseIdx;
+        startPhase();
+    });
+}
+
+} // namespace bvl

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Global discrete-event queue driving a simulation.
+ *
+ * Time is measured in picosecond Ticks so that clock domains with
+ * different frequencies (the big-core and little-core clusters under
+ * DVFS) can coexist in one queue. Events scheduled for the same tick
+ * fire in FIFO order of their scheduling, which keeps the simulation
+ * deterministic.
+ */
+
+#ifndef BVL_SIM_EVENT_QUEUE_HH
+#define BVL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bvl
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A min-heap of timestamped callbacks. One EventQueue exists per
+ * simulated system; components hold a reference to it.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        bvl_assert(when >= _now, "event scheduled in the past "
+                   "(when=%llu now=%llu)",
+                   (unsigned long long)when, (unsigned long long)_now);
+        heap.push(Event{when, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void schedule(Tick delay, EventFn fn)
+    { scheduleAt(_now + delay, std::move(fn)); }
+
+    /** True if no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /** Time of the earliest pending event (maxTick if none). */
+    Tick nextEventTick() const
+    { return heap.empty() ? maxTick : heap.top().when; }
+
+    /**
+     * Pop and execute the earliest event, advancing time.
+     * @retval false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap.empty())
+            return false;
+        // Move the event out before firing: the callback may schedule
+        // new events and reshape the heap.
+        Event ev = heap.top();
+        heap.pop();
+        _now = ev.when;
+        ev.fn();
+        ++_executed;
+        return true;
+    }
+
+    /**
+     * Run until the queue drains or @p limit ticks of simulated time
+     * elapse.
+     * @retval true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(Tick limit = maxTick)
+    {
+        while (!heap.empty()) {
+            if (heap.top().when > limit)
+                return false;
+            step();
+        }
+        return true;
+    }
+
+    /**
+     * Run until @p done returns true, the queue drains, or the tick
+     * limit is reached.
+     * @retval true iff @p done became true.
+     */
+    bool
+    runUntil(const std::function<bool()> &done, Tick limit = maxTick)
+    {
+        while (!done()) {
+            if (heap.empty() || heap.top().when > limit)
+                return false;
+            step();
+        }
+        return true;
+    }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace bvl
+
+#endif // BVL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal convention.
+ *
+ * panic() is for internal simulator bugs ("should never happen"); it
+ * aborts. fatal() is for user errors (bad configuration, impossible
+ * parameters); it exits with an error code. warn()/inform() report
+ * conditions without stopping the simulation.
+ */
+
+#ifndef BVL_SIM_LOGGING_HH
+#define BVL_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bvl
+{
+
+/** Print a formatted message and abort: simulator-internal bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1): unusable user input. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** panic() unless the given condition holds. */
+#define bvl_assert(cond, fmt, ...)                                       \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::bvl::panic("assertion '" #cond "' failed: " fmt,           \
+                         ##__VA_ARGS__);                                 \
+    } while (0)
+
+} // namespace bvl
+
+#endif // BVL_SIM_LOGGING_HH

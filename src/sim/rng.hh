@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Workload generators (graphs, particle weights, option parameters)
+ * must be reproducible across runs and platforms, so we use our own
+ * xoshiro256** instead of std::mt19937 + distribution objects whose
+ * outputs are implementation-defined.
+ */
+
+#ifndef BVL_SIM_RNG_HH
+#define BVL_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace bvl
+{
+
+/** xoshiro256** by Blackman & Vigna (public domain reference code). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 seeding
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    real(double lo, double hi)
+    {
+        return lo + (hi - lo) * real();
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace bvl
+
+#endif // BVL_SIM_RNG_HH

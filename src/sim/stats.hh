@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register Stat counters in a StatGroup; a run driver can
+ * dump all statistics or query individual ones by hierarchical name
+ * ("little0.stall.raw_mem"). Keeping stats in a registry (rather than
+ * ad-hoc struct members) lets the benchmark harness extract exactly the
+ * series each paper figure plots.
+ */
+
+#ifndef BVL_SIM_STATS_HH
+#define BVL_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace bvl
+{
+
+/** A single additive statistic. */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    Stat &operator+=(std::uint64_t n) { _value += n; return *this; }
+    Stat &operator++() { ++_value; return *this; }
+    void operator++(int) { ++_value; }
+
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** A flat registry of stats keyed by hierarchical dotted names. */
+class StatGroup
+{
+  public:
+    /** Get-or-create the stat with the given name. */
+    Stat &
+    stat(const std::string &name)
+    {
+        return stats[name];
+    }
+
+    /** Look up a stat; 0 if it was never created. */
+    std::uint64_t
+    value(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? 0 : it->second.value();
+    }
+
+    /** True if the stat exists. */
+    bool has(const std::string &name) const
+    { return stats.count(name) != 0; }
+
+    /** Sum of all stats whose name starts with @p prefix. */
+    std::uint64_t
+    sumWithPrefix(const std::string &prefix) const
+    {
+        std::uint64_t total = 0;
+        for (auto it = stats.lower_bound(prefix); it != stats.end(); ++it) {
+            if (it->first.compare(0, prefix.size(), prefix) != 0)
+                break;
+            total += it->second.value();
+        }
+        return total;
+    }
+
+    /** Zero every registered stat. */
+    void
+    resetAll()
+    {
+        for (auto &kv : stats)
+            kv.second.reset();
+    }
+
+    /** Print "name value" lines for every stat. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : stats)
+            os << kv.first << " " << kv.second.value() << "\n";
+    }
+
+    const std::map<std::string, Stat> &all() const { return stats; }
+
+  private:
+    std::map<std::string, Stat> stats;
+};
+
+} // namespace bvl
+
+#endif // BVL_SIM_STATS_HH

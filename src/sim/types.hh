@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental simulation types shared by all bvl components.
+ */
+
+#ifndef BVL_SIM_TYPES_HH
+#define BVL_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace bvl
+{
+
+/** Absolute simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A duration measured in clock cycles of some clock domain. */
+using Cycles = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Monotonically increasing id for dynamic instructions. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no tick scheduled / unknown time". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** One nanosecond expressed in ticks (picoseconds). */
+constexpr Tick ticksPerNs = 1000;
+
+} // namespace bvl
+
+#endif // BVL_SIM_TYPES_HH

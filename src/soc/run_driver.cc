@@ -1,0 +1,107 @@
+#include "soc/run_driver.hh"
+
+namespace bvl
+{
+
+RunResult
+runWorkload(Design design, Workload &workload, const RunOptions &opts)
+{
+    SocParams sp;
+    sp.design = design;
+    sp.bigFreqGhz = opts.bigGhz;
+    sp.littleFreqGhz = opts.littleGhz;
+    if (opts.engineOverride)
+        sp.engineOverride =
+            std::make_unique<VEngineParams>(*opts.engineOverride);
+    Soc soc(std::move(sp));
+
+    workload.init(soc.backing);
+
+    bool done = false;
+    auto onDone = [&] { done = true; };
+
+    WsRuntime runtime(soc);
+    bool usedRuntime = false;
+
+    if (workload.isDataParallel()) {
+        switch (design) {
+          case Design::d1L:
+            soc.littles[0]->runProgram(workload.scalarProgram(),
+                                       workload.fullRangeArgs(), onDone);
+            break;
+          case Design::d1b:
+            soc.big->runProgram(workload.scalarProgram(),
+                                workload.fullRangeArgs(), onDone);
+            break;
+          case Design::d1bIV:
+          case Design::d1bDV:
+          case Design::d1b4VL: {
+            ProgramPtr prog = workload.vectorProgram();
+            bvl_assert(prog != nullptr, "%s has no vector program",
+                       workload.name().c_str());
+            soc.big->runProgram(prog, workload.fullRangeArgs(), onDone);
+            break;
+          }
+          case Design::d1b4L:
+            runtime.run(workload.taskGraph(), true,
+                        soc.littles.size(), false, onDone);
+            usedRuntime = true;
+            break;
+          case Design::d1bIV4L:
+            runtime.run(workload.taskGraph(), true,
+                        soc.littles.size(), true, onDone);
+            usedRuntime = true;
+            break;
+        }
+    } else {
+        // Task-parallel (Ligra) workloads always go through the
+        // work-stealing runtime.
+        bool useBig = design != Design::d1L;
+        unsigned littles = 0;
+        switch (design) {
+          case Design::d1L:
+            littles = 1;
+            break;
+          case Design::d1b:
+          case Design::d1bIV:
+          case Design::d1bDV:
+            littles = 0;
+            break;
+          default:
+            littles = static_cast<unsigned>(soc.littles.size());
+            break;
+        }
+        runtime.run(workload.taskGraph(), useBig, littles, false,
+                    onDone);
+        usedRuntime = true;
+    }
+    (void)usedRuntime;
+
+    Tick limit = static_cast<Tick>(opts.limitNs * ticksPerNs);
+    bool finished = soc.runUntil([&] { return done; }, limit);
+
+    RunResult r;
+    r.workload = workload.name();
+    r.design = designName(design);
+    r.finished = finished;
+    r.ns = soc.elapsedNs();
+    if (finished && opts.verifyResult)
+        r.verified = workload.verify(soc.backing);
+    r.ifetchReqs = soc.stats.value("sys.ifetchReqs");
+    r.dataReqs = soc.stats.value("sys.dataReqs");
+    r.bigFetched = soc.stats.value("big.fetched");
+    for (const auto &kv : soc.stats.all())
+        r.stats[kv.first] = kv.second.value();
+    return r;
+}
+
+RunResult
+runWorkload(Design design, const std::string &name, Scale scale,
+            const RunOptions &opts)
+{
+    auto w = makeWorkload(name, scale);
+    bvl_assert(w != nullptr, "unknown workload '%s'", name.c_str());
+    return runWorkload(design, *w, opts);
+}
+
+} // namespace bvl

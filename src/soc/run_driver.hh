@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Run driver: executes one workload on one design and collects the
+ * statistics the paper's figures are built from.
+ *
+ * Execution-mode table (paper Section IV):
+ *
+ *   data-parallel workloads
+ *     1L          scalar whole-problem program on one little core
+ *     1b          scalar program on the big core
+ *     1bIV        vectorized program on the big core (VLEN 128)
+ *     1b-4L       work-stealing task graph, big + 4 little, all scalar
+ *     1bIV-4L     task graph; big runs vectorized chunks, littles scalar
+ *     1bDV        vectorized program, decoupled engine (VLEN 2048)
+ *     1b-4VL      vectorized program, VLITTLE engine (VLEN 512),
+ *                 500-cycle mode switch, littles ganged as lanes
+ *
+ *   task-parallel workloads (Ligra)
+ *     1L          task graph with one little worker
+ *     1b/1bIV/1bDV task graph with the big core only (the decoupled
+ *                 engine cannot help irregular scalar tasks)
+ *     1b-4L/1bIV-4L/1b-4VL task graph on big + 4 little workers
+ */
+
+#ifndef BVL_SOC_RUN_DRIVER_HH
+#define BVL_SOC_RUN_DRIVER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "runtime/ws_runtime.hh"
+#include "soc/soc.hh"
+#include "workloads/workload.hh"
+
+namespace bvl
+{
+
+struct RunOptions
+{
+    double bigGhz = 1.0;
+    double littleGhz = 1.0;
+    /** Engine parameter override (Figure 7/8 ablations). */
+    std::optional<VEngineParams> engineOverride;
+    /** Simulated-time limit in nanoseconds. */
+    double limitNs = 1e9;
+    /** Skip result verification (pure performance sweeps). */
+    bool verifyResult = true;
+};
+
+struct RunResult
+{
+    std::string workload;
+    std::string design;
+    bool finished = false;
+    bool verified = false;
+    double ns = 0.0;
+
+    /** Key series used by the figures. */
+    std::uint64_t ifetchReqs = 0;   ///< Figure 5
+    std::uint64_t dataReqs = 0;     ///< Figure 6
+    std::uint64_t bigFetched = 0;
+
+    /** Full stat snapshot for detailed analyses. */
+    std::map<std::string, std::uint64_t> stats;
+
+    std::uint64_t stat(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? 0 : it->second;
+    }
+};
+
+/** Run @p workload on @p design and return the measurements. */
+RunResult runWorkload(Design design, Workload &workload,
+                      const RunOptions &opts = {});
+
+/** Convenience: build the named workload and run it. */
+RunResult runWorkload(Design design, const std::string &name,
+                      Scale scale, const RunOptions &opts = {});
+
+} // namespace bvl
+
+#endif // BVL_SOC_RUN_DRIVER_HH

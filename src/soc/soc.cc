@@ -1,0 +1,105 @@
+#include "soc/soc.hh"
+
+#include "vector/engine_presets.hh"
+
+namespace bvl
+{
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::d1L: return "1L";
+      case Design::d1b: return "1b";
+      case Design::d1bIV: return "1bIV";
+      case Design::d1b4L: return "1b-4L";
+      case Design::d1bIV4L: return "1bIV-4L";
+      case Design::d1bDV: return "1bDV";
+      case Design::d1b4VL: return "1b-4VL";
+    }
+    return "?";
+}
+
+bool
+designHasVector(Design d)
+{
+    return d == Design::d1bIV || d == Design::d1bIV4L ||
+           d == Design::d1bDV || d == Design::d1b4VL;
+}
+
+bool
+designUsesLittles(Design d)
+{
+    return d == Design::d1L || d == Design::d1b4L ||
+           d == Design::d1bIV4L || d == Design::d1b4VL;
+}
+
+namespace
+{
+
+VEngineParams
+defaultEngine(Design d)
+{
+    switch (d) {
+      case Design::d1bIV:
+      case Design::d1bIV4L:
+        return integratedVuPreset();
+      case Design::d1bDV:
+        return decoupledVePreset();
+      case Design::d1b4VL:
+        return vlittlePreset();
+      default:
+        panic("design %s has no vector engine", designName(d));
+    }
+}
+
+} // namespace
+
+Soc::Soc(SocParams params)
+    : bigClk(eq, "bigClk", params.bigFreqGhz),
+      littleClk(eq, "littleClk", params.littleFreqGhz),
+      uncoreClk(eq, "uncoreClk", params.uncoreFreqGhz),
+      mem(uncoreClk, stats, params.memParams),
+      p(std::move(params))
+{
+    unsigned vlen = 64;
+    if (designHasVector(p.design)) {
+        VEngineParams ep = p.engineOverride ? *p.engineOverride
+                                            : defaultEngine(p.design);
+        ep.fu = p.littleParams.fu;
+        // Engine lanes run on the little-core clock for the VLITTLE
+        // engine, on the big-core clock for the integrated unit and
+        // the decoupled engine (paper Section VII methodology).
+        ClockDomain &engClk =
+            p.design == Design::d1b4VL ? littleClk : bigClk;
+        engine = std::make_unique<VlittleEngine>(engClk, stats, mem, ep);
+        vlen = engine->params().vlenBits();
+    }
+
+    big = std::make_unique<BigCore>(bigClk, stats, mem, backing, vlen,
+                                    p.bigParams);
+    if (engine)
+        big->setVectorEngine(engine.get());
+
+    for (unsigned i = 0; i < p.numLittle; ++i)
+        littles.push_back(std::make_unique<LittleCore>(
+            littleClk, stats, mem, backing, i, vlen, p.littleParams));
+}
+
+Soc::Soc(Design design, double bigGhz, double littleGhz)
+    : Soc([&] {
+          SocParams sp;
+          sp.design = design;
+          sp.bigFreqGhz = bigGhz;
+          sp.littleFreqGhz = littleGhz;
+          return sp;
+      }())
+{}
+
+bool
+Soc::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    return eq.runUntil(done, limit);
+}
+
+} // namespace bvl

@@ -1,0 +1,302 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace bvl
+{
+
+HostGraph
+HostGraph::random(unsigned n, unsigned avgDeg, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+    std::uint64_t target = std::uint64_t(n) * avgDeg;
+    std::uint64_t attempts = 0;
+    while (edges.size() < target && attempts < 8 * target) {
+        ++attempts;
+        // Square-law skew toward low ids creates hub vertices.
+        auto draw = [&] {
+            double r = rng.real();
+            return static_cast<std::uint32_t>(r * r * n) % n;
+        };
+        std::uint32_t u = draw();
+        std::uint32_t v = static_cast<std::uint32_t>(rng.below(n));
+        if (u == v)
+            continue;
+        edges.insert({u, v});
+    }
+
+    HostGraph g;
+    g.n = n;
+    g.outOffs.assign(n + 1, 0);
+    g.inOffs.assign(n + 1, 0);
+    for (auto &[u, v] : edges) {
+        ++g.outOffs[u + 1];
+        ++g.inOffs[v + 1];
+    }
+    for (unsigned v = 0; v < n; ++v) {
+        g.outOffs[v + 1] += g.outOffs[v];
+        g.inOffs[v + 1] += g.inOffs[v];
+    }
+    g.outTgts.resize(edges.size());
+    g.inTgts.resize(edges.size());
+    std::vector<std::uint32_t> outFill(g.outOffs.begin(),
+                                       g.outOffs.end() - 1);
+    std::vector<std::uint32_t> inFill(g.inOffs.begin(),
+                                      g.inOffs.end() - 1);
+    for (auto &[u, v] : edges) {
+        g.outTgts[outFill[u]++] = v;
+        g.inTgts[inFill[v]++] = u;
+    }
+    // std::set iteration gives sorted adjacency lists (needed by the
+    // triangle-counting intersection).
+    return g;
+}
+
+std::vector<std::int32_t>
+HostGraph::bfsLevels(unsigned root) const
+{
+    std::vector<std::int32_t> level(n, -1);
+    std::queue<std::uint32_t> q;
+    level[root] = 0;
+    q.push(root);
+    while (!q.empty()) {
+        auto u = q.front();
+        q.pop();
+        for (unsigned e = outOffs[u]; e < outOffs[u + 1]; ++e) {
+            auto v = outTgts[e];
+            if (level[v] < 0) {
+                level[v] = level[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<std::vector<std::uint32_t>>
+HostGraph::bfsFrontiers(unsigned root) const
+{
+    auto level = bfsLevels(root);
+    std::int32_t maxLevel = 0;
+    for (auto l : level)
+        maxLevel = std::max(maxLevel, l);
+    std::vector<std::vector<std::uint32_t>> frontiers(maxLevel + 1);
+    for (unsigned v = 0; v < n; ++v)
+        if (level[v] >= 0)
+            frontiers[level[v]].push_back(v);
+    return frontiers;
+}
+
+std::pair<std::vector<std::uint32_t>, unsigned>
+HostGraph::components(unsigned maxIters) const
+{
+    std::vector<std::uint32_t> cur(n), next(n);
+    for (unsigned v = 0; v < n; ++v)
+        cur[v] = v;
+    unsigned iters = 0;
+    for (; iters < maxIters; ++iters) {
+        bool changed = false;
+        for (unsigned v = 0; v < n; ++v) {
+            std::uint32_t m = cur[v];
+            for (unsigned e = inOffs[v]; e < inOffs[v + 1]; ++e)
+                m = std::min(m, cur[inTgts[e]]);
+            // Symmetrize via out-edges too so labels flow both ways.
+            for (unsigned e = outOffs[v]; e < outOffs[v + 1]; ++e)
+                m = std::min(m, cur[outTgts[e]]);
+            next[v] = m;
+            changed |= (m != cur[v]);
+        }
+        std::swap(cur, next);
+        if (!changed)
+            break;
+    }
+    return {cur, iters + 1};
+}
+
+std::vector<float>
+HostGraph::pagerank(unsigned iters) const
+{
+    std::vector<float> cur(n, 1.0f / n), next(n);
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned v = 0; v < n; ++v) {
+            float acc = 0.0f;
+            for (unsigned e = inOffs[v]; e < inOffs[v + 1]; ++e) {
+                auto u = inTgts[e];
+                unsigned deg = std::max(1u, outDeg(u));
+                acc += cur[u] / deg;
+            }
+            next[v] = 0.15f / n + 0.85f * acc;
+        }
+        std::swap(cur, next);
+    }
+    return cur;
+}
+
+std::vector<std::uint32_t>
+HostGraph::triangles() const
+{
+    std::vector<std::uint32_t> count(n, 0);
+    for (unsigned v = 0; v < n; ++v) {
+        for (unsigned e = outOffs[v]; e < outOffs[v + 1]; ++e) {
+            auto u = outTgts[e];
+            // Sorted-list intersection of adj(v) and adj(u).
+            unsigned a = outOffs[v], b = outOffs[u];
+            while (a < outOffs[v + 1] && b < outOffs[u + 1]) {
+                if (outTgts[a] < outTgts[b])
+                    ++a;
+                else if (outTgts[a] > outTgts[b])
+                    ++b;
+                else {
+                    ++count[v];
+                    ++a;
+                    ++b;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+std::pair<std::vector<std::int32_t>, unsigned>
+HostGraph::radii(unsigned numSources) const
+{
+    std::vector<std::uint32_t> cur(n, 0), next(n);
+    std::vector<std::int32_t> radius(n, -1);
+    for (unsigned s = 0; s < numSources && s < n; ++s) {
+        unsigned v = (s * 97) % n;
+        cur[v] |= (1u << s);
+        radius[v] = 0;
+    }
+    unsigned iters = 0;
+    for (; iters < 64; ++iters) {
+        bool changed = false;
+        for (unsigned v = 0; v < n; ++v) {
+            std::uint32_t bits = cur[v];
+            for (unsigned e = inOffs[v]; e < inOffs[v + 1]; ++e)
+                bits |= cur[inTgts[e]];
+            next[v] = bits;
+            if (bits != cur[v]) {
+                radius[v] = static_cast<std::int32_t>(iters + 1);
+                changed = true;
+            }
+        }
+        std::swap(cur, next);
+        if (!changed)
+            break;
+    }
+    return {radius, iters};
+}
+
+std::pair<std::vector<std::uint8_t>, unsigned>
+HostGraph::mis() const
+{
+    std::vector<std::uint8_t> status(n, 0);
+    unsigned rounds = 0;
+    bool progress = true;
+    while (progress && rounds < 64) {
+        progress = false;
+        ++rounds;
+        // Select: undecided v with minimal priority among undecided
+        // neighbourhood joins the MIS.
+        std::vector<std::uint8_t> joined(n, 0);
+        for (unsigned v = 0; v < n; ++v) {
+            if (status[v] != 0)
+                continue;
+            bool minimal = true;
+            auto pv = misPriority(v);
+            auto check = [&](std::uint32_t u) {
+                if (status[u] == 0 &&
+                    (misPriority(u) < pv ||
+                     (misPriority(u) == pv && u < v))) {
+                    minimal = false;
+                }
+            };
+            for (unsigned e = inOffs[v]; e < inOffs[v + 1]; ++e)
+                check(inTgts[e]);
+            for (unsigned e = outOffs[v]; e < outOffs[v + 1]; ++e)
+                check(outTgts[e]);
+            if (minimal)
+                joined[v] = 1;
+        }
+        for (unsigned v = 0; v < n; ++v) {
+            if (joined[v]) {
+                status[v] = 1;
+                progress = true;
+            }
+        }
+        // Exclude neighbours of new MIS members.
+        for (unsigned v = 0; v < n; ++v) {
+            if (status[v] != 0)
+                continue;
+            auto hasMisNeighbor = [&] {
+                for (unsigned e = inOffs[v]; e < inOffs[v + 1]; ++e)
+                    if (status[inTgts[e]] == 1)
+                        return true;
+                for (unsigned e = outOffs[v]; e < outOffs[v + 1]; ++e)
+                    if (status[outTgts[e]] == 1)
+                        return true;
+                return false;
+            }();
+            if (hasMisNeighbor) {
+                status[v] = 2;
+                progress = true;
+            }
+        }
+    }
+    return {status, rounds};
+}
+
+std::pair<std::vector<std::uint32_t>, unsigned>
+HostGraph::kcore(unsigned maxK) const
+{
+    std::vector<std::uint32_t> coreness(n, 0);
+    std::vector<std::uint8_t> alive(n, 1);
+    unsigned totalRounds = 0;
+    auto degOf = [&](unsigned v) {
+        unsigned d = 0;
+        for (unsigned e = inOffs[v]; e < inOffs[v + 1]; ++e)
+            d += alive[inTgts[e]];
+        for (unsigned e = outOffs[v]; e < outOffs[v + 1]; ++e)
+            d += alive[outTgts[e]];
+        return d;
+    };
+    for (unsigned k = 1; k <= maxK; ++k) {
+        bool removed = true;
+        while (removed) {
+            removed = false;
+            ++totalRounds;
+            std::vector<std::uint8_t> nextAlive = alive;
+            for (unsigned v = 0; v < n; ++v) {
+                if (alive[v] && degOf(v) < k) {
+                    nextAlive[v] = 0;
+                    coreness[v] = k - 1;
+                    removed = true;
+                }
+            }
+            alive = nextAlive;
+        }
+    }
+    for (unsigned v = 0; v < n; ++v)
+        if (alive[v])
+            coreness[v] = maxK;
+    return {coreness, totalRounds};
+}
+
+void
+HostGraph::writeTo(BackingStore &mem, Addr outOffsBase, Addr outTgtsBase,
+                   Addr inOffsBase, Addr inTgtsBase) const
+{
+    for (unsigned v = 0; v <= n; ++v) {
+        mem.writeT<std::uint32_t>(outOffsBase + 4ull * v, outOffs[v]);
+        mem.writeT<std::uint32_t>(inOffsBase + 4ull * v, inOffs[v]);
+    }
+    for (std::size_t e = 0; e < outTgts.size(); ++e)
+        mem.writeT<std::uint32_t>(outTgtsBase + 4ull * e, outTgts[e]);
+    for (std::size_t e = 0; e < inTgts.size(); ++e)
+        mem.writeT<std::uint32_t>(inTgtsBase + 4ull * e, inTgts[e]);
+}
+
+} // namespace bvl

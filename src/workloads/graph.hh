@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synthetic graph substrate for the Ligra-style task-parallel apps:
+ * power-law-ish random directed graphs in CSR form (out-edges and the
+ * transpose for pull-style algorithms), plus host-side reference
+ * algorithms used both to precompute iteration schedules (frontiers,
+ * convergence counts) and to verify simulated results.
+ */
+
+#ifndef BVL_WORKLOADS_GRAPH_HH
+#define BVL_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/rng.hh"
+
+namespace bvl
+{
+
+struct HostGraph
+{
+    unsigned n = 0;
+    std::vector<std::uint32_t> outOffs;   ///< size n+1
+    std::vector<std::uint32_t> outTgts;
+    std::vector<std::uint32_t> inOffs;    ///< transpose, size n+1
+    std::vector<std::uint32_t> inTgts;
+
+    unsigned numEdges() const
+    { return static_cast<unsigned>(outTgts.size()); }
+
+    unsigned outDeg(unsigned v) const
+    { return outOffs[v + 1] - outOffs[v]; }
+
+    /**
+     * Build a skewed random directed graph: endpoints drawn with a
+     * square-law bias toward low vertex ids (R-MAT-like hubs),
+     * deduplicated, no self loops. Deterministic in @p seed.
+     */
+    static HostGraph random(unsigned n, unsigned avgDeg,
+                            std::uint64_t seed = 7);
+
+    /** BFS levels from @p root; unreached = -1. */
+    std::vector<std::int32_t> bfsLevels(unsigned root) const;
+
+    /** Frontiers per BFS level (vertex lists). */
+    std::vector<std::vector<std::uint32_t>>
+    bfsFrontiers(unsigned root) const;
+
+    /** Label-propagation connected components; returns (labels, iters). */
+    std::pair<std::vector<std::uint32_t>, unsigned>
+    components(unsigned maxIters = 64) const;
+
+    /** @p iters pull-style PageRank iterations. */
+    std::vector<float> pagerank(unsigned iters) const;
+
+    /** Per-vertex triangle counts (ordered intersection). */
+    std::vector<std::uint32_t> triangles() const;
+
+    /** Multi-source bitmask radii sweep; returns (radius, iters). */
+    std::pair<std::vector<std::int32_t>, unsigned>
+    radii(unsigned numSources) const;
+
+    /** Deterministic Luby MIS; returns (status, rounds).
+     *  status: 1 = in MIS, 2 = excluded. */
+    std::pair<std::vector<std::uint8_t>, unsigned> mis() const;
+
+    /** Peeling k-core; returns (coreness, total rounds). */
+    std::pair<std::vector<std::uint32_t>, unsigned>
+    kcore(unsigned maxK = 16) const;
+
+    /** Hash priority used by MIS (shared with the simulated code). */
+    static std::uint32_t
+    misPriority(std::uint32_t v)
+    {
+        std::uint32_t x = v * 2654435761u + 12345u;
+        x ^= x >> 16;
+        return x;
+    }
+
+    /** Write CSR arrays into the simulated memory. */
+    void writeTo(BackingStore &mem, Addr outOffsBase, Addr outTgtsBase,
+                 Addr inOffsBase, Addr inTgtsBase) const;
+};
+
+} // namespace bvl
+
+#endif // BVL_WORKLOADS_GRAPH_HH

@@ -1,0 +1,105 @@
+#include "workloads/progutil.hh"
+
+#include <cmath>
+
+namespace bvl
+{
+
+namespace
+{
+
+constexpr float expC4 = 1.0f / 24.0f;
+constexpr float expC3 = 1.0f / 6.0f;
+constexpr float expC2 = 0.5f;
+constexpr float expC1 = 1.0f;
+constexpr float expC0 = 1.0f;
+constexpr float cndK = -1.702f;   // logistic approximation constant
+
+} // namespace
+
+void
+emitVecExp(Asm &a, RegId vout, RegId vx, RegId vtmp)
+{
+    // Horner: h = ((((c4*x + c3)*x + c2)*x + c1)*x + c0, alternating
+    // between vout and vtmp so the final value lands in vout.
+    emitFloatConst(a, freg(31), xreg(28), expC4);
+    a.vmv_vf(vout, freg(31));
+
+    emitFloatConst(a, freg(31), xreg(28), expC3);
+    a.vmv_vf(vtmp, freg(31));
+    a.vv(Op::vfmacc, vtmp, vx, vout);      // vtmp = c3 + x*h
+
+    emitFloatConst(a, freg(31), xreg(28), expC2);
+    a.vmv_vf(vout, freg(31));
+    a.vv(Op::vfmacc, vout, vx, vtmp);      // vout = c2 + x*h
+
+    emitFloatConst(a, freg(31), xreg(28), expC1);
+    a.vmv_vf(vtmp, freg(31));
+    a.vv(Op::vfmacc, vtmp, vx, vout);      // vtmp = c1 + x*h
+
+    emitFloatConst(a, freg(31), xreg(28), expC0);
+    a.vmv_vf(vout, freg(31));
+    a.vv(Op::vfmacc, vout, vx, vtmp);      // vout = c0 + x*h
+}
+
+void
+emitScalarExp(Asm &a, RegId fd, RegId fs, RegId ftmp)
+{
+    emitFloatConst(a, fd, xreg(28), expC4);
+    emitFloatConst(a, ftmp, xreg(28), expC3);
+    a.fmadd(fd, fs, fd, ftmp, 4);          // fd = x*h + c3
+    emitFloatConst(a, ftmp, xreg(28), expC2);
+    a.fmadd(fd, fs, fd, ftmp, 4);
+    emitFloatConst(a, ftmp, xreg(28), expC1);
+    a.fmadd(fd, fs, fd, ftmp, 4);
+    emitFloatConst(a, ftmp, xreg(28), expC0);
+    a.fmadd(fd, fs, fd, ftmp, 4);
+}
+
+void
+emitVecCnd(Asm &a, RegId vout, RegId vx, RegId vt1, RegId vt2)
+{
+    // CND(x) ~= 1 / (1 + exp(-1.702 x))
+    emitFloatConst(a, freg(30), xreg(28), cndK);
+    a.vf(Op::vfmul, vt1, vx, freg(30));    // vt1 = -1.702 x
+    emitVecExp(a, vout, vt1, vt2);         // vout = exp(vt1)
+    emitFloatConst(a, freg(30), xreg(28), 1.0f);
+    a.vf(Op::vfadd, vout, vout, freg(30)); // 1 + e
+    a.vmv_vf(vt1, freg(30));               // splat 1
+    a.vv(Op::vfdiv, vout, vt1, vout);      // 1 / (1 + e)
+}
+
+void
+emitScalarCnd(Asm &a, RegId fd, RegId fs, RegId ft1, RegId ft2)
+{
+    emitFloatConst(a, ft1, xreg(28), cndK);
+    a.fmul(ft1, fs, ft1, 4);               // -1.702 x
+    emitScalarExp(a, fd, ft1, ft2);        // exp
+    emitFloatConst(a, ft1, xreg(28), 1.0f);
+    a.fadd(fd, fd, ft1, 4);                // 1 + e
+    a.fdiv(fd, ft1, fd, 4);                // 1 / (1 + e)
+}
+
+float
+hostPolyExp(float x)
+{
+    float h = expC4;
+    h = static_cast<float>(static_cast<double>(expC3) +
+                           static_cast<double>(x) * h);
+    h = static_cast<float>(static_cast<double>(expC2) +
+                           static_cast<double>(x) * h);
+    h = static_cast<float>(static_cast<double>(expC1) +
+                           static_cast<double>(x) * h);
+    h = static_cast<float>(static_cast<double>(expC0) +
+                           static_cast<double>(x) * h);
+    return h;
+}
+
+float
+hostPolyCnd(float x)
+{
+    float e = hostPolyExp(cndK * x);
+    return 1.0f / (1.0f + e);
+}
+
+} // namespace bvl

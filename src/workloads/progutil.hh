@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared program-builder idioms: stripmine loops, scalar range loops,
+ * float constants, and the polynomial exp() approximation that the
+ * vectorized blackscholes/lavamd/backprop codes use in place of a
+ * libm call (vector code has no exp instruction either — real RVV
+ * ports of these benchmarks inline the same kind of polynomial).
+ */
+
+#ifndef BVL_WORKLOADS_PROGUTIL_HH
+#define BVL_WORKLOADS_PROGUTIL_HH
+
+#include <cstring>
+#include <functional>
+
+#include "isa/program.hh"
+
+namespace bvl
+{
+
+/** Raw bit pattern of a float, for li + fmv into an f register. */
+inline std::int64_t
+floatBits(float value)
+{
+    std::uint32_t raw;
+    std::memcpy(&raw, &value, 4);
+    return static_cast<std::int64_t>(raw);
+}
+
+/** Load a float constant into f register @p fd via x register @p tmp. */
+inline void
+emitFloatConst(Asm &a, RegId fd, RegId tmp, float value)
+{
+    a.li(tmp, floatBits(value));
+    a.fmv_f_x(fd, tmp);
+}
+
+/**
+ * Emit a scalar loop `for (i = x10; i < x11; ++i) body(i_reg)` with
+ * the induction variable in @p ireg. The body callback emits the loop
+ * body instructions.
+ */
+inline void
+emitScalarRangeLoop(Asm &a, RegId ireg, const std::string &label,
+                    const std::function<void()> &body)
+{
+    a.mv(ireg, xreg(10));
+    a.label(label);
+    body();
+    a.addi(ireg, ireg, 1);
+    a.blt(ireg, xreg(11), label);
+}
+
+/**
+ * Emit a stripmined vector loop over elements [x10, x11):
+ *   x12 = remaining, x13 = vl of this strip, x14 = current index.
+ * The body callback emits the vector strip (element width @p ew);
+ * it may use x14 (element index of strip start) and x13 (vl).
+ */
+inline void
+emitStripmineLoop(Asm &a, unsigned ew, const std::string &label,
+                  const std::function<void()> &body)
+{
+    a.sub(xreg(12), xreg(11), xreg(10));   // remaining
+    a.mv(xreg(14), xreg(10));              // current index
+    a.label(label);
+    a.vsetvli(xreg(13), xreg(12), ew);
+    body();
+    a.add(xreg(14), xreg(14), xreg(13));
+    a.sub(xreg(12), xreg(12), xreg(13));
+    a.bne(xreg(12), xreg(0), label);
+}
+
+/**
+ * Vector polynomial approximation of exp(x) for moderate |x|:
+ * exp(x) ~= 1 + x + x^2/2 + x^3/6 + x^4/24.
+ * Input in @p vx, result in @p vout; clobbers @p vtmp and f/x temps
+ * f28-f31 / x28. Element width 32-bit, uses current vl.
+ */
+void emitVecExp(Asm &a, RegId vout, RegId vx, RegId vtmp);
+
+/** Scalar counterpart of emitVecExp; input fs, result fd. */
+void emitScalarExp(Asm &a, RegId fd, RegId fs, RegId ftmp);
+
+/**
+ * Vector polynomial approximation of the standard normal CDF via
+ * Abramowitz-Stegun style rational polynomial (enough precision for
+ * the blackscholes shape). Input vx, output vout; clobbers vt1/vt2.
+ */
+void emitVecCnd(Asm &a, RegId vout, RegId vx, RegId vt1, RegId vt2);
+
+/** Scalar counterpart of emitVecCnd. */
+void emitScalarCnd(Asm &a, RegId fd, RegId fs, RegId ft1, RegId ft2);
+
+/** Host-side references matching the emitted polynomials bit-for-bit
+ *  in structure (evaluated in float precision). */
+float hostPolyExp(float x);
+float hostPolyCnd(float x);
+
+} // namespace bvl
+
+#endif // BVL_WORKLOADS_PROGUTIL_HH

@@ -1,0 +1,75 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace bvl
+{
+
+// Factories implemented in the per-category translation units.
+std::vector<WorkloadPtr> makeComputeApps(Scale scale);
+std::vector<WorkloadPtr> makeStencilApps(Scale scale);
+std::vector<WorkloadPtr> makeGenomicsApps(Scale scale);
+std::vector<WorkloadPtr> makeIterativeGraphApps(Scale scale);
+std::vector<WorkloadPtr> makeTraversalGraphApps(Scale scale);
+
+Addr
+Workload::nextTextBase()
+{
+    // Text segments live far above all data regions and are spaced a
+    // page apart so instruction lines of different programs never
+    // alias in confusing ways.
+    static Addr next = 0x40000000;
+    Addr base = next;
+    next += 0x10000;
+    return base;
+}
+
+std::vector<WorkloadPtr>
+makeDataParallelApps(Scale scale)
+{
+    std::vector<WorkloadPtr> v;
+    for (auto &w : makeComputeApps(scale))
+        v.push_back(std::move(w));
+    for (auto &w : makeStencilApps(scale))
+        v.push_back(std::move(w));
+    for (auto &w : makeGenomicsApps(scale))
+        v.push_back(std::move(w));
+    return v;
+}
+
+std::vector<WorkloadPtr>
+makeTaskParallelApps(Scale scale)
+{
+    std::vector<WorkloadPtr> v;
+    for (auto &w : makeTraversalGraphApps(scale))
+        v.push_back(std::move(w));
+    for (auto &w : makeIterativeGraphApps(scale))
+        v.push_back(std::move(w));
+    return v;
+}
+
+WorkloadPtr
+makeWorkload(const std::string &name, Scale scale)
+{
+    for (auto maker : {makeKernels, makeDataParallelApps,
+                       makeTaskParallelApps}) {
+        for (auto &w : maker(scale))
+            if (w->name() == name)
+                return std::move(w);
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (auto maker : {makeKernels, makeDataParallelApps,
+                       makeTaskParallelApps}) {
+        for (auto &w : maker(Scale::tiny))
+            names.push_back(w->name());
+    }
+    return names;
+}
+
+} // namespace bvl

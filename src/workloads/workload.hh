@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * A Workload owns its dataset layout in the simulated address space,
+ * builds the scalar and vectorized programs that compute it (Table IV
+ * and V of the paper), decomposes itself into a TaskGraph for the
+ * multi-core configurations, and self-verifies its output against a
+ * host-side reference after a run.
+ *
+ * All programs are range-parameterized: x10 = start, x11 = end, so
+ * the serial run and every task chunk share the same Program objects.
+ */
+
+#ifndef BVL_WORKLOADS_WORKLOAD_HH
+#define BVL_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/backing_store.hh"
+#include "runtime/task_graph.hh"
+#include "sim/rng.hh"
+
+namespace bvl
+{
+
+/** Problem-size scaling knob for the whole suite. */
+enum class Scale
+{
+    tiny,     ///< smoke-test sizes (CI)
+    small,    ///< benchmark sizes (default for figure regeneration)
+    medium,   ///< closer-to-paper sizes
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Data-parallel (Rodinia/RiVec/genomics) vs task-parallel (Ligra). */
+    virtual bool isDataParallel() const = 0;
+
+    /** Populate input data; called once per simulation run. */
+    virtual void init(BackingStore &mem) = 0;
+
+    /** Scalar whole-problem program (runs on 1L / 1b). */
+    virtual ProgramPtr scalarProgram() = 0;
+
+    /** Arguments for the whole-problem programs. */
+    virtual ProgArgs fullRangeArgs() const = 0;
+
+    /** Vectorized whole-problem program (nullptr if not vectorizable). */
+    virtual ProgramPtr vectorProgram() { return nullptr; }
+
+    /** Task decomposition for the multi-core runs. */
+    virtual TaskGraph taskGraph() = 0;
+
+    /** Check the output in @p mem against the host reference. */
+    virtual bool verify(const BackingStore &mem) const = 0;
+
+  protected:
+    /** Unique text-segment allocator shared by all workload programs. */
+    static Addr nextTextBase();
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** The 3 kernels of Table IV: vvadd, mmult, saxpy. */
+std::vector<WorkloadPtr> makeKernels(Scale scale);
+
+/** The 8 data-parallel applications of Table V. */
+std::vector<WorkloadPtr> makeDataParallelApps(Scale scale);
+
+/** The 8 Ligra-style task-parallel graph applications. */
+std::vector<WorkloadPtr> makeTaskParallelApps(Scale scale);
+
+/** One workload by name (nullptr if unknown). */
+WorkloadPtr makeWorkload(const std::string &name, Scale scale);
+
+/** Names of everything in the suite. */
+std::vector<std::string> allWorkloadNames();
+
+} // namespace bvl
+
+#endif // BVL_WORKLOADS_WORKLOAD_HH

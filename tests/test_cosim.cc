@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Co-simulation property tests: for randomly generated programs, the
+ * architectural state after *timed* execution (little core, big core,
+ * big core + each vector engine) must exactly match pure functional
+ * execution. This catches any timing-model interference with
+ * semantics (wrong-path effects, lost writebacks, engine reordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/arch_state.hh"
+#include "sim/rng.hh"
+#include "soc/soc.hh"
+
+namespace bvl
+{
+namespace
+{
+
+constexpr Addr dataBase = 0x100000;
+constexpr unsigned dataWords = 256;
+
+/** Random scalar program: ALU ops, loads/stores into a small window,
+ *  and a countdown loop around the whole body. */
+ProgramPtr
+randomScalarProgram(Rng &rng, unsigned bodyLen)
+{
+    Asm a("rand.scalar");
+    a.li(xreg(1), dataBase)
+     .li(xreg(20), 4)              // loop counter
+     .label("top");
+    for (unsigned i = 0; i < bodyLen; ++i) {
+        RegId rd = xreg(2 + rng.below(8));
+        RegId ra = xreg(2 + rng.below(8));
+        RegId rb = xreg(2 + rng.below(8));
+        switch (rng.below(8)) {
+          case 0: a.add(rd, ra, rb); break;
+          case 1: a.sub(rd, ra, rb); break;
+          case 2: a.mul(rd, ra, rb); break;
+          case 3: a.xor_(rd, ra, rb); break;
+          case 4: a.addi(rd, ra, static_cast<std::int64_t>(
+                      rng.below(100)));
+                  break;
+          case 5: {
+            // load from a bounded slot
+            a.andi(xreg(10), ra, (dataWords - 1) * 4)
+             .add(xreg(10), xreg(10), xreg(1))
+             .lw(rd, xreg(10));
+            break;
+          }
+          case 6: {
+            a.andi(xreg(10), ra, (dataWords - 1) * 4)
+             .add(xreg(10), xreg(10), xreg(1))
+             .sw(rb, xreg(10));
+            break;
+          }
+          default: a.slti(rd, ra, 50); break;
+        }
+    }
+    a.addi(xreg(20), xreg(20), -1)
+     .bne(xreg(20), xreg(0), "top")
+     .halt();
+    auto p = a.finish();
+    p->setTextBase(0x40000000);
+    return p;
+}
+
+/** Random vector program: stripmined loop mixing vector arithmetic,
+ *  unit-stride memory and occasional reductions. */
+ProgramPtr
+randomVectorProgram(Rng &rng, unsigned bodyLen)
+{
+    Asm a("rand.vector");
+    a.li(xreg(2), dataBase)
+     .li(xreg(3), dataBase + dataWords * 4)
+     .li(xreg(10), dataWords)
+     .label("loop")
+     .vsetvli(xreg(4), xreg(10), 4)
+     .vle(vreg(1), xreg(2), 4)
+     .vle(vreg(2), xreg(3), 4);
+    for (unsigned i = 0; i < bodyLen; ++i) {
+        RegId vd = vreg(3 + rng.below(5));
+        RegId va = vreg(1 + rng.below(7));
+        RegId vb = vreg(1 + rng.below(7));
+        switch (rng.below(6)) {
+          case 0: a.vv(Op::vadd, vd, va, vb); break;
+          case 1: a.vv(Op::vmul, vd, va, vb); break;
+          case 2: a.vv(Op::vxor, vd, va, vb); break;
+          case 3: a.vv(Op::vmax, vd, va, vb); break;
+          case 4: a.vi(Op::vsll, vd, va, 1 + rng.below(3)); break;
+          default: a.vv(Op::vmin, vd, va, vb); break;
+        }
+    }
+    a.vv(Op::vadd, vreg(8), vreg(3), vreg(4))
+     .vse(vreg(8), xreg(2), 4)
+     .vv(Op::vredsum, vreg(9), regIdInvalid, vreg(8))
+     .vmv_x_s(xreg(21), vreg(9))
+     .add(xreg(22), xreg(22), xreg(21))
+     .slli(xreg(6), xreg(4), 2)
+     .add(xreg(2), xreg(2), xreg(6))
+     .add(xreg(3), xreg(3), xreg(6))
+     .sub(xreg(10), xreg(10), xreg(4))
+     .bne(xreg(10), xreg(0), "loop")
+     .halt();
+    auto p = a.finish();
+    p->setTextBase(0x40000000);
+    return p;
+}
+
+void
+initData(BackingStore &mem, Rng &rng)
+{
+    for (unsigned i = 0; i < 2 * dataWords; ++i)
+        mem.writeT<std::uint32_t>(dataBase + 4 * i,
+                                  static_cast<std::uint32_t>(
+                                      rng.below(1000)));
+}
+
+/** Compare x registers and the data window. */
+void
+expectSameState(const ArchState &timed, const ArchState &func,
+                const BackingStore &timedMem,
+                const BackingStore &funcMem, const char *what)
+{
+    for (unsigned r = 1; r < 32; ++r)
+        EXPECT_EQ(timed.getX(xreg(r)), func.getX(xreg(r)))
+            << what << ": x" << r;
+    for (unsigned i = 0; i < 2 * dataWords; ++i)
+        ASSERT_EQ(timedMem.readT<std::uint32_t>(dataBase + 4 * i),
+                  funcMem.readT<std::uint32_t>(dataBase + 4 * i))
+            << what << ": word " << i;
+}
+
+class CosimScalarTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CosimScalarTest, LittleMatchesFunctional)
+{
+    Rng rng(1000 + GetParam());
+    auto prog = randomScalarProgram(rng, 24);
+
+    BackingStore funcMem;
+    Rng dataRng(GetParam());
+    initData(funcMem, dataRng);
+    ArchState func(512);
+    runFunctional(func, *prog, funcMem);
+
+    Soc soc(Design::d1L);
+    Rng dataRng2(GetParam());
+    initData(soc.backing, dataRng2);
+    bool done = false;
+    soc.littles[0]->runProgram(prog, {}, [&] { done = true; });
+    ASSERT_TRUE(soc.runUntil([&] { return done; },
+                             soc.eq.now() + 50'000'000ull));
+    expectSameState(soc.littles[0]->archState(), func, soc.backing,
+                    funcMem, "little");
+}
+
+TEST_P(CosimScalarTest, BigMatchesFunctional)
+{
+    Rng rng(2000 + GetParam());
+    auto prog = randomScalarProgram(rng, 24);
+
+    BackingStore funcMem;
+    Rng dataRng(GetParam());
+    initData(funcMem, dataRng);
+    ArchState func(512);
+    runFunctional(func, *prog, funcMem);
+
+    Soc soc(Design::d1b);
+    Rng dataRng2(GetParam());
+    initData(soc.backing, dataRng2);
+    bool done = false;
+    soc.big->runProgram(prog, {}, [&] { done = true; });
+    ASSERT_TRUE(soc.runUntil([&] { return done; },
+                             soc.eq.now() + 50'000'000ull));
+    expectSameState(soc.big->archState(), func, soc.backing, funcMem,
+                    "big");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CosimScalarTest,
+                         ::testing::Range(0, 8));
+
+class CosimVectorTest
+    : public ::testing::TestWithParam<std::tuple<int, Design>>
+{};
+
+TEST_P(CosimVectorTest, EngineMatchesFunctional)
+{
+    auto [seed, design] = GetParam();
+    Rng rng(3000 + seed);
+    auto prog = randomVectorProgram(rng, 6);
+
+    Soc soc(design);
+    BackingStore funcMem;
+    Rng dataRng(seed);
+    initData(funcMem, dataRng);
+    ArchState func(soc.vlenBits());
+    runFunctional(func, *prog, funcMem);
+
+    Rng dataRng2(seed);
+    initData(soc.backing, dataRng2);
+    bool done = false;
+    soc.big->runProgram(prog, {}, [&] { done = true; });
+    ASSERT_TRUE(soc.runUntil([&] { return done; },
+                             soc.eq.now() + 50'000'000ull));
+    expectSameState(soc.big->archState(), func, soc.backing, funcMem,
+                    designName(design));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByEngine, CosimVectorTest,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(Design::d1bIV, Design::d1bDV,
+                                         Design::d1b4VL)),
+    [](const auto &info) {
+        std::string s = std::string(designName(std::get<1>(info.param))) +
+                        "_s" + std::to_string(std::get<0>(info.param));
+        for (auto &c : s)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return s;
+    });
+
+} // namespace
+} // namespace bvl

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests of the analytical models: Table-VI area (must reproduce the
+ * paper's totals and ~2% overheads, and respond to queue-size
+ * ablations), Table-VII power levels, and the Pareto-frontier helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+#include "power/power_model.hh"
+#include "vector/engine_presets.hh"
+
+namespace bvl
+{
+namespace
+{
+
+TEST(AreaTest, ReproducesPaperTotalsSimpleCore)
+{
+    auto r = computeClusterArea(LittleCoreRtl::simple, vlittlePreset());
+    EXPECT_NEAR(r.total4L, 427.0, 1.0);
+    EXPECT_NEAR(r.total4VL, 437.4, 1.0);
+    EXPECT_NEAR(r.overheadPercent, 2.4, 0.2);
+}
+
+TEST(AreaTest, ReproducesPaperTotalsAriane)
+{
+    auto r = computeClusterArea(LittleCoreRtl::ariane, vlittlePreset());
+    EXPECT_NEAR(r.overheadPercent, 2.1, 0.2);
+}
+
+TEST(AreaTest, BiggerQueuesCostMoreArea)
+{
+    auto base = computeClusterArea(LittleCoreRtl::simple,
+                                   vlittlePreset());
+    auto bigq = vlittlePreset();
+    bigq.vmiuQueueDepth *= 4;
+    bigq.dataQueueDepth *= 4;
+    bigq.uopQueueDepth *= 4;
+    auto r = computeClusterArea(LittleCoreRtl::simple, bigq);
+    EXPECT_GT(r.total4VL, base.total4VL);
+    EXPECT_GT(r.overheadPercent, base.overheadPercent);
+}
+
+TEST(AreaTest, DveEstimateIsAreaComparable)
+{
+    auto e = estimateDveArea();
+    // Section VI: a 4-Ariane cluster is roughly the size of the
+    // 8-lane Ara-class engine.
+    EXPECT_GT(e.ratio, 0.8);
+    EXPECT_LT(e.ratio, 1.3);
+}
+
+TEST(PowerTest, LevelsAreMonotonic)
+{
+    for (unsigned i = 1; i < bigLevels.size(); ++i) {
+        EXPECT_GT(bigLevels[i].freqGhz, bigLevels[i - 1].freqGhz);
+        EXPECT_GT(bigLevels[i].watts, bigLevels[i - 1].watts);
+    }
+    for (unsigned i = 1; i < littleLevels.size(); ++i) {
+        EXPECT_GT(littleLevels[i].freqGhz, littleLevels[i - 1].freqGhz);
+        EXPECT_GT(littleLevels[i].watts, littleLevels[i - 1].watts);
+    }
+}
+
+TEST(PowerTest, LittleClusterIsMuchCheaperThanBig)
+{
+    // The big core at a given frequency burns several times the
+    // little cluster at the same frequency (the premise of the
+    // paper's power-trading argument).
+    EXPECT_GT(bigLevels[1].watts, 1.5 * littleLevels[2].watts);
+}
+
+TEST(PowerTest, DvePowerDominatesInHighRegion)
+{
+    double dv = systemPowerW(Design::d1bDV, bigLevels[1],
+                             littleLevels[1]);
+    double vl = systemPowerW(Design::d1b4VL, bigLevels[1],
+                             littleLevels[1]);
+    EXPECT_GT(dv, vl);
+    // 1bDV cannot reach the sub-1W region even at its lowest level.
+    EXPECT_GT(systemPowerW(Design::d1bDV, bigLevels[0],
+                           littleLevels[0]),
+              systemPowerW(Design::d1b4VL, bigLevels[0],
+                           littleLevels[3]));
+}
+
+TEST(PowerTest, ParetoFrontierIsNonDominatedAndSorted)
+{
+    std::vector<PerfPowerPoint> pts = {
+        {0, 0, 100.0, 1.0},
+        {0, 1, 90.0, 1.5},
+        {0, 2, 95.0, 2.0},   // dominated by (90, 1.5)
+        {1, 0, 120.0, 0.5},
+        {1, 1, 80.0, 3.0},
+    };
+    auto f = paretoFrontier(pts);
+    ASSERT_EQ(f.size(), 4u);
+    for (unsigned i = 1; i < f.size(); ++i) {
+        EXPECT_GE(f[i].watts, f[i - 1].watts);
+        EXPECT_LE(f[i].ns, f[i - 1].ns);
+    }
+    for (const auto &a : f)
+        for (const auto &b : f)
+            EXPECT_FALSE(a.dominates(b) && b.dominates(a));
+}
+
+TEST(PowerTest, FrontierOfSinglePointIsItself)
+{
+    std::vector<PerfPowerPoint> pts = {{0, 0, 10.0, 1.0}};
+    auto f = paretoFrontier(pts);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0].ns, 10.0);
+}
+
+} // namespace
+} // namespace bvl

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event-queue ordering and
+ * determinism, clock-domain arithmetic (including DVFS frequencies),
+ * statistics registry, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace bvl
+{
+namespace
+{
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, EventsMayScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.schedule(1, chain);
+    };
+    eq.schedule(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueTest, RunUntilStopsOnPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(i * 10, [&] { ++count; });
+    bool reached = eq.runUntil([&] { return count >= 5; });
+    EXPECT_TRUE(reached);
+    EXPECT_EQ(count, 5);
+    EXPECT_LT(eq.now(), 100u);
+}
+
+TEST(EventQueueTest, RunHonoursTickLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(1000, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(100));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+}
+
+TEST(ClockDomainTest, CycleTickConversions)
+{
+    EventQueue eq;
+    ClockDomain one(eq, "1g", 1.0);
+    EXPECT_EQ(one.periodPs(), 1000u);
+    EXPECT_EQ(one.cyclesToTicks(7), 7000u);
+
+    ClockDomain fast(eq, "2g", 2.0);
+    EXPECT_EQ(fast.periodPs(), 500u);
+
+    // Table VII frequencies.
+    ClockDomain b3(eq, "b3", 1.4);
+    EXPECT_NEAR(double(b3.periodPs()), 714.0, 1.0);
+    ClockDomain l0(eq, "l0", 0.6);
+    EXPECT_NEAR(double(l0.periodPs()), 1667.0, 1.0);
+}
+
+TEST(ClockDomainTest, TicksToNextEdgeIsAlwaysPositive)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1.0);
+    EXPECT_EQ(cd.ticksToNextEdge(), 1000u);
+    eq.schedule(250, [] {});
+    eq.run();
+    EXPECT_EQ(cd.ticksToNextEdge(), 750u);
+}
+
+TEST(ClockedTest, TicksOncePerCycleWhileActive)
+{
+    struct Counter : Clocked
+    {
+        using Clocked::Clocked;
+        int ticks = 0;
+        bool tick() override { return ++ticks < 5; }
+    };
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1.0);
+    Counter c(cd, "counter");
+    c.activate();
+    eq.run();
+    EXPECT_EQ(c.ticks, 5);
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(ClockedTest, RedundantActivateIsSafe)
+{
+    struct Counter : Clocked
+    {
+        using Clocked::Clocked;
+        int ticks = 0;
+        bool tick() override { return false; }
+    };
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1.0);
+    Counter c(cd, "counter");
+    c.activate();
+    c.activate();
+    c.activate();
+    eq.run();
+    EXPECT_EQ(c.ticks, 0);   // tick() returning false went dormant
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(StatsTest, SumWithPrefixAndReset)
+{
+    StatGroup g;
+    g.stat("core.stall.mem") += 5;
+    g.stat("core.stall.fu") += 3;
+    g.stat("core.cycles") += 100;
+    g.stat("other") += 7;
+    EXPECT_EQ(g.sumWithPrefix("core.stall."), 8u);
+    EXPECT_EQ(g.sumWithPrefix("core."), 108u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    g.resetAll();
+    EXPECT_EQ(g.value("core.cycles"), 0u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(RngTest, RealIsUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+} // namespace
+} // namespace bvl
