@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ifetch.dir/fig05_ifetch.cc.o"
+  "CMakeFiles/fig05_ifetch.dir/fig05_ifetch.cc.o.d"
+  "fig05_ifetch"
+  "fig05_ifetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ifetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

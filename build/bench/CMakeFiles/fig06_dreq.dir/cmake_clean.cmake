@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dreq.dir/fig06_dreq.cc.o"
+  "CMakeFiles/fig06_dreq.dir/fig06_dreq.cc.o.d"
+  "fig06_dreq"
+  "fig06_dreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

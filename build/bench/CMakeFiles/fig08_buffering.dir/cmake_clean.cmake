@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_buffering.dir/fig08_buffering.cc.o"
+  "CMakeFiles/fig08_buffering.dir/fig08_buffering.cc.o.d"
+  "fig08_buffering"
+  "fig08_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dvfs_heatmap.dir/fig09_dvfs_heatmap.cc.o"
+  "CMakeFiles/fig09_dvfs_heatmap.dir/fig09_dvfs_heatmap.cc.o.d"
+  "fig09_dvfs_heatmap"
+  "fig09_dvfs_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dvfs_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

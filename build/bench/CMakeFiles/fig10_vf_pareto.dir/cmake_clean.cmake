@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vf_pareto.dir/fig10_vf_pareto.cc.o"
+  "CMakeFiles/fig10_vf_pareto.dir/fig10_vf_pareto.cc.o.d"
+  "fig10_vf_pareto"
+  "fig10_vf_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vf_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_design_pareto.dir/fig11_design_pareto.cc.o"
+  "CMakeFiles/fig11_design_pareto.dir/fig11_design_pareto.cc.o.d"
+  "fig11_design_pareto"
+  "fig11_design_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_design_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_area.dir/table06_area.cc.o"
+  "CMakeFiles/table06_area.dir/table06_area.cc.o.d"
+  "table06_area"
+  "table06_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_area.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_designs.dir/compare_designs.cc.o"
+  "CMakeFiles/example_compare_designs.dir/compare_designs.cc.o.d"
+  "example_compare_designs"
+  "example_compare_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dvfs_explore.dir/dvfs_explore.cc.o"
+  "CMakeFiles/example_dvfs_explore.dir/dvfs_explore.cc.o.d"
+  "example_dvfs_explore"
+  "example_dvfs_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dvfs_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_run_workload.dir/run_workload.cc.o"
+  "CMakeFiles/example_run_workload.dir/run_workload.cc.o.d"
+  "example_run_workload"
+  "example_run_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_run_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

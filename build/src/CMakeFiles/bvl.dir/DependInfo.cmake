@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/area_model.cc" "src/CMakeFiles/bvl.dir/area/area_model.cc.o" "gcc" "src/CMakeFiles/bvl.dir/area/area_model.cc.o.d"
+  "/root/repo/src/core/lane.cc" "src/CMakeFiles/bvl.dir/core/lane.cc.o" "gcc" "src/CMakeFiles/bvl.dir/core/lane.cc.o.d"
+  "/root/repo/src/core/vlittle_engine.cc" "src/CMakeFiles/bvl.dir/core/vlittle_engine.cc.o" "gcc" "src/CMakeFiles/bvl.dir/core/vlittle_engine.cc.o.d"
+  "/root/repo/src/cpu/big_core.cc" "src/CMakeFiles/bvl.dir/cpu/big_core.cc.o" "gcc" "src/CMakeFiles/bvl.dir/cpu/big_core.cc.o.d"
+  "/root/repo/src/cpu/little_core.cc" "src/CMakeFiles/bvl.dir/cpu/little_core.cc.o" "gcc" "src/CMakeFiles/bvl.dir/cpu/little_core.cc.o.d"
+  "/root/repo/src/isa/arch_state.cc" "src/CMakeFiles/bvl.dir/isa/arch_state.cc.o" "gcc" "src/CMakeFiles/bvl.dir/isa/arch_state.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/bvl.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/bvl.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/bvl.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/bvl.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/bvl.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/bvl.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/bvl.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/bvl.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/bvl.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/bvl.dir/power/power_model.cc.o.d"
+  "/root/repo/src/runtime/ws_runtime.cc" "src/CMakeFiles/bvl.dir/runtime/ws_runtime.cc.o" "gcc" "src/CMakeFiles/bvl.dir/runtime/ws_runtime.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/bvl.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/bvl.dir/sim/logging.cc.o.d"
+  "/root/repo/src/soc/run_driver.cc" "src/CMakeFiles/bvl.dir/soc/run_driver.cc.o" "gcc" "src/CMakeFiles/bvl.dir/soc/run_driver.cc.o.d"
+  "/root/repo/src/soc/soc.cc" "src/CMakeFiles/bvl.dir/soc/soc.cc.o" "gcc" "src/CMakeFiles/bvl.dir/soc/soc.cc.o.d"
+  "/root/repo/src/workloads/apps_compute.cc" "src/CMakeFiles/bvl.dir/workloads/apps_compute.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/apps_compute.cc.o.d"
+  "/root/repo/src/workloads/apps_stencil.cc" "src/CMakeFiles/bvl.dir/workloads/apps_stencil.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/apps_stencil.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/bvl.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/bvl.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/ligra_iterative.cc" "src/CMakeFiles/bvl.dir/workloads/ligra_iterative.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/ligra_iterative.cc.o.d"
+  "/root/repo/src/workloads/ligra_traversal.cc" "src/CMakeFiles/bvl.dir/workloads/ligra_traversal.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/ligra_traversal.cc.o.d"
+  "/root/repo/src/workloads/progutil.cc" "src/CMakeFiles/bvl.dir/workloads/progutil.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/progutil.cc.o.d"
+  "/root/repo/src/workloads/sw.cc" "src/CMakeFiles/bvl.dir/workloads/sw.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/sw.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/bvl.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/bvl.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

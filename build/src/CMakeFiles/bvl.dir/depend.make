@@ -1,0 +1,2 @@
+# Empty dependencies file for bvl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_properties.cc" "tests/CMakeFiles/bvl_tests.dir/test_cache_properties.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_cache_properties.cc.o.d"
+  "/root/repo/tests/test_cores.cc" "tests/CMakeFiles/bvl_tests.dir/test_cores.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_cores.cc.o.d"
+  "/root/repo/tests/test_cosim.cc" "tests/CMakeFiles/bvl_tests.dir/test_cosim.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_cosim.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/bvl_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_engine_ordering.cc" "tests/CMakeFiles/bvl_tests.dir/test_engine_ordering.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_engine_ordering.cc.o.d"
+  "/root/repo/tests/test_frontend.cc" "tests/CMakeFiles/bvl_tests.dir/test_frontend.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_frontend.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/bvl_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/bvl_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_power_area.cc" "tests/CMakeFiles/bvl_tests.dir/test_power_area.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_power_area.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/bvl_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/bvl_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/bvl_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/bvl_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bvl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvl_tests.dir/test_cache_properties.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_cache_properties.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_cores.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_cores.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_cosim.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_cosim.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_engine.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_engine.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_engine_ordering.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_engine_ordering.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_frontend.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_frontend.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_isa.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_isa.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_mem.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_power_area.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_power_area.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_runtime.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_runtime.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_sim.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/bvl_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/bvl_tests.dir/test_workloads.cc.o.d"
+  "bvl_tests"
+  "bvl_tests.pdb"
+  "bvl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
