@@ -26,13 +26,16 @@ sweep(const char *title,
         std::printf(" %9s", cfg.first.c_str());
     std::printf("\n");
     for (const auto &name : apps) {
-        double base = runChecked(Design::d1L, name, scale).ns;
+        auto base = runChecked(Design::d1L, name, scale);
         std::printf("%-14s", name.c_str());
         for (const auto &cfg : configs) {
             RunOptions opts;
             opts.engineOverride = cfg.second;
             auto r = runChecked(Design::d1b4VL, name, scale, opts);
-            std::printf(" %9.2f", base / r.ns);
+            if (double s = speedupOf(base, r))
+                std::printf(" %9.2f", s);
+            else
+                std::printf(" %9s", runStatusName(r.status));
             std::fflush(stdout);
         }
         std::printf("\n");

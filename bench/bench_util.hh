@@ -69,13 +69,27 @@ runChecked(Design d, const std::string &name, Scale scale,
            RunOptions opts = {})
 {
     auto r = runWorkload(d, name, scale, opts);
-    if (!r.finished)
-        warn("%s on %s did not finish within the time limit",
-             name.c_str(), designName(d));
-    else if (opts.verifyResult && !r.verified)
-        warn("%s on %s produced wrong results", name.c_str(),
-             designName(d));
+    if (!r.ok())
+        warn("%s on %s: %s%s%s", name.c_str(), designName(d),
+             runStatusName(r.status), r.message.empty() ? "" : ": ",
+             r.message.c_str());
     return r;
+}
+
+/** Can this result be used as the denominator/numerator of a ratio? */
+inline bool
+usable(const RunResult &r)
+{
+    return r.ok() && r.ns > 0.0;
+}
+
+/** Speedup of @p fast over @p base, or 0.0 if either run failed. */
+inline double
+speedupOf(const RunResult &base, const RunResult &fast)
+{
+    if (!usable(base) || !usable(fast))
+        return 0.0;
+    return base.ns / fast.ns;
 }
 
 inline void

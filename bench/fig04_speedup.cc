@@ -32,22 +32,31 @@ runSuite(const char *label, const std::vector<std::string> &names,
     std::printf("\n");
 
     std::vector<double> logsum(6, 0.0);
+    std::vector<unsigned> counted(6, 0);
     for (const auto &name : names) {
-        double base = runChecked(Design::d1L, name, scale).ns;
+        auto base = runChecked(Design::d1L, name, scale);
         std::printf("%-14s %8.2f", name.c_str(), 1.0);
         unsigned i = 0;
         for (Design d : designs) {
-            double t = runChecked(d, name, scale).ns;
-            double speedup = base / t;
-            logsum[i++] += std::log(speedup);
-            std::printf(" %8.2f", speedup);
+            auto r = runChecked(d, name, scale);
+            double speedup = speedupOf(base, r);
+            if (speedup > 0.0) {
+                logsum[i] += std::log(speedup);
+                ++counted[i];
+                std::printf(" %8.2f", speedup);
+            } else {
+                // Failed runs are excluded from the geomean.
+                std::printf(" %8s", runStatusName(r.status));
+            }
+            ++i;
         }
         std::printf("\n");
         std::fflush(stdout);
     }
     std::printf("%-14s %8.2f", "geomean", 1.0);
     for (unsigned i = 0; i < 6; ++i)
-        std::printf(" %8.2f", std::exp(logsum[i] / names.size()));
+        std::printf(" %8.2f",
+                    counted[i] ? std::exp(logsum[i] / counted[i]) : 0.0);
     std::printf("\n");
 }
 

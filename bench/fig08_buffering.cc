@@ -32,7 +32,7 @@ main()
     std::printf("\n");
 
     for (const auto &name : apps) {
-        double base = runChecked(Design::d1L, name, scale).ns;
+        auto base = runChecked(Design::d1L, name, scale);
         std::printf("%-14s", name.c_str());
         for (unsigned d : depths) {
             VEngineParams ep = vlittlePreset();
@@ -41,7 +41,10 @@ main()
             RunOptions opts;
             opts.engineOverride = ep;
             auto r = runChecked(Design::d1b4VL, name, scale, opts);
-            std::printf(" %7.2f", base / r.ns);
+            if (double s = speedupOf(base, r))
+                std::printf(" %7.2f", s);
+            else
+                std::printf(" %7s", runStatusName(r.status));
             std::fflush(stdout);
         }
         std::printf("\n");

@@ -18,7 +18,7 @@ namespace
 {
 
 void
-heatmap(Design design, const std::string &name, double baseNs,
+heatmap(Design design, const std::string &name, const RunResult &base,
         Scale scale)
 {
     std::printf("\n%s on %s (speedup over 1L@1GHz)\n", name.c_str(),
@@ -34,7 +34,10 @@ heatmap(Design design, const std::string &name, double baseNs,
             opts.bigGhz = b.freqGhz;
             opts.littleGhz = l.freqGhz;
             auto r = runChecked(design, name, scale, opts);
-            std::printf(" %7.2f", baseNs / r.ns);
+            if (double s = speedupOf(base, r))
+                std::printf(" %7.2f", s);
+            else
+                std::printf(" %7s", runStatusName(r.status));
             std::fflush(stdout);
         }
         std::printf("\n");
@@ -52,7 +55,7 @@ main()
                 "1b-4VL", scale);
 
     for (const auto &name : dataParallelNames()) {
-        double base = runChecked(Design::d1L, name, scale).ns;
+        auto base = runChecked(Design::d1L, name, scale);
         heatmap(Design::d1bIV4L, name, base, scale);
         heatmap(Design::d1b4VL, name, base, scale);
     }

@@ -30,6 +30,13 @@ main()
                 opts.bigGhz = bigLevels[bi].freqGhz;
                 opts.littleGhz = littleLevels[li].freqGhz;
                 auto r = runChecked(Design::d1b4VL, name, scale, opts);
+                if (!usable(r)) {
+                    // Keep the failed combination off the frontier.
+                    std::printf("%6s %6s %12s\n", bigLevels[bi].name,
+                                littleLevels[li].name,
+                                runStatusName(r.status));
+                    continue;
+                }
                 points.push_back(
                     {bi, li, r.ns,
                      systemPowerW(Design::d1b4VL, bigLevels[bi],

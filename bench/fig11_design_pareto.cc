@@ -35,6 +35,8 @@ main()
                     opts.bigGhz = bigLevels[bi].freqGhz;
                     opts.littleGhz = littleLevels[li].freqGhz;
                     auto r = runChecked(d, name, scale, opts);
+                    if (!usable(r))
+                        continue;   // runChecked already warned
                     points.push_back(
                         {bi, li, r.ns,
                          systemPowerW(d, bigLevels[bi],

@@ -26,20 +26,27 @@ main(int argc, char **argv)
     }
 
     auto base = runWorkload(Design::d1L, name, scale);
-    if (!base.finished) {
-        std::fprintf(stderr, "unknown workload or timeout\n");
+    if (!base.ok()) {
+        std::fprintf(stderr, "baseline failed (%s): %s\n",
+                     runStatusName(base.status), base.message.c_str());
         return 1;
     }
 
-    std::printf("%-10s %12s %10s %10s\n", "design", "time(ns)",
-                "speedup", "verified");
-    std::printf("%-10s %12.0f %10.2f %10s\n", "1L", base.ns, 1.0,
-                base.verified ? "yes" : "NO");
+    std::printf("%-10s %12s %10s %14s\n", "design", "time(ns)",
+                "speedup", "status");
+    std::printf("%-10s %12.0f %10.2f %14s\n", "1L", base.ns, 1.0,
+                runStatusName(base.status));
     for (Design d : {Design::d1b, Design::d1bIV, Design::d1b4L,
                      Design::d1bIV4L, Design::d1bDV, Design::d1b4VL}) {
         auto r = runWorkload(d, name, scale);
-        std::printf("%-10s %12.0f %10.2f %10s\n", designName(d), r.ns,
-                    base.ns / r.ns, r.verified ? "yes" : "NO");
+        // A failed design is reported and skipped, not fatal: the
+        // remaining designs still produce their rows.
+        if (r.ok())
+            std::printf("%-10s %12.0f %10.2f %14s\n", designName(d),
+                        r.ns, base.ns / r.ns, runStatusName(r.status));
+        else
+            std::printf("%-10s %12s %10s %14s\n", designName(d), "-",
+                        "-", runStatusName(r.status));
     }
     return 0;
 }

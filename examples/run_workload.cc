@@ -38,8 +38,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--workload NAME] [--design D] "
                  "[--scale tiny|small|medium]\n"
-                 "          [--big-ghz F] [--little-ghz F] [--stats] "
-                 "[--no-verify] [--list]\n"
+                 "          [--big-ghz F] [--little-ghz F] "
+                 "[--limit-ns NS] [--stats]\n"
+                 "          [--no-verify] [--list]\n"
                  "designs: 1L 1b 1bIV 1b-4L 1bIV-4L 1bDV 1b-4VL\n",
                  argv0);
 }
@@ -90,6 +91,8 @@ main(int argc, char **argv)
             dumpStats = true;
         } else if (arg == "--no-verify") {
             opts.verifyResult = false;
+        } else if (arg == "--limit-ns") {
+            opts.limitNs = std::atof(next());
         } else {
             usage(argv[0]);
             return 1;
@@ -108,8 +111,10 @@ main(int argc, char **argv)
                 w->isDataParallel() ? "data-parallel" : "task-parallel");
     std::printf("design    %s  (big %.1f GHz, little %.1f GHz)\n",
                 r.design.c_str(), opts.bigGhz, opts.littleGhz);
-    std::printf("time      %.0f ns %s\n", r.ns,
-                r.finished ? "" : "(TIMED OUT)");
+    std::printf("time      %.0f ns\n", r.ns);
+    std::printf("status    %s\n", runStatusName(r.status));
+    if (!r.ok() && !r.message.empty())
+        std::printf("%s\n", r.message.c_str());
     if (opts.verifyResult)
         std::printf("verified  %s\n", r.verified ? "yes" : "NO");
     std::printf("ifetch    %llu requests\n",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and run the full test suite twice,
+# once normally and once under AddressSanitizer + UBSan.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc)
+
+echo "=== normal build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "=== sanitized build (ASan + UBSan) ==="
+cmake -B build-asan -S . -DBVL_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== ci.sh: all checks passed ==="

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
+#include "sim/watchdog.hh"
+
 namespace bvl
 {
 
@@ -372,6 +375,23 @@ VlittleEngine::vcuBroadcastTick()
     if (uopQueue.empty())
         return;
 
+    // Injected fault: the command bus freezes for a number of cycles
+    // (queried only when there is something to broadcast, so a
+    // disabled plan leaves the Rng untouched).
+    auto &beq = clock().eventQueue();
+    if (injector) {
+        if (Cycles stall = injector->vcuStall(beq.now())) {
+            busStalledUntil = std::max(
+                busStalledUntil,
+                beq.now() + clock().cyclesToTicks(stall));
+            stats.stat(sp + "vcuStallsInjected")++;
+        }
+    }
+    if (beq.now() < busStalledUntil) {
+        lockstepBlocked = true;
+        return;
+    }
+
     QueuedUop &qu = uopQueue.front();
     VInstrPtr vi = qu.vi;
     const Instr &in = *vi->trace.inst;
@@ -421,14 +441,15 @@ VlittleEngine::vcuBroadcastTick()
 // --------------------------------------------------------------------
 
 void
-VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req)
+VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req,
+                             unsigned attempt)
 {
     Addr addr = req.lineAddr << lineShift;
     SeqNum vseq = req.vseq;
     std::uint64_t reqSeq = req.reqSeq;
     bool isStore = req.isStore;
 
-    auto done = [this, vseq, reqSeq, vmsu_idx, isStore] {
+    auto deliver = [this, vseq, reqSeq, vmsu_idx, isStore] {
         if (isStore) {
             --vmsus[vmsu_idx].storeSlotsUsed;
             auto it = inflight.find(vseq);
@@ -440,6 +461,28 @@ VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req)
             vluDataReady.insert(reqSeq);
         }
         activate();
+    };
+
+    // Injected fault: the response is dropped on the way back to the
+    // VMSU. Bounded retries re-issue the line request after a timeout;
+    // once they are exhausted the queue slot is stuck forever and the
+    // progress watchdog reports the hang.
+    auto done = [this, vmsu_idx, req, attempt,
+                 deliver = std::move(deliver)] {
+        if (injector && injector->dropVmuResponse()) {
+            if (attempt < injector->vmuMaxRetries()) {
+                stats.stat(sp + "vmuRetries")++;
+                clock().scheduleCycles(
+                    injector->vmuRetryDelay(),
+                    [this, vmsu_idx, req, attempt] {
+                        issueToMemory(vmsu_idx, req, attempt + 1);
+                    });
+            } else {
+                stats.stat(sp + "vmuResponsesLost")++;
+            }
+            return;
+        }
+        deliver();
     };
 
     switch (p.memPath) {
@@ -792,6 +835,72 @@ VlittleEngine::completeInstr(VInstr &vi)
     inflight.erase(vi.vseq);
     if (onDone)
         onDone();
+}
+
+// --------------------------------------------------------------------
+// Hardening hooks
+// --------------------------------------------------------------------
+
+void
+VlittleEngine::registerProgress(Watchdog &wd)
+{
+    // Work counters only (never cycles): chime micro-op broadcasts,
+    // completions, and every VMU queue movement. A livelocked engine
+    // keeps ticking but advances none of these.
+    wd.addSource(p.name,
+                 [this] {
+                     return stats.value(sp + "dispatched") +
+                            stats.value(sp + "uopsBroadcast") +
+                            stats.value(sp + "completed") +
+                            stats.value(sp + "loadLineReqs") +
+                            stats.value(sp + "storeLineReqs") +
+                            stats.value(sp + "vluDeliveries") +
+                            stats.value(sp + "vsuLines");
+                 },
+                 [this] { return inflightReport(); });
+}
+
+std::string
+VlittleEngine::inflightReport()
+{
+    if (idle())
+        return vectorMode ? "idle (vector mode)" : "";
+
+    std::string out = "cmdQ " + std::to_string(cmdQueue.size()) +
+                      " uopQ " + std::to_string(uopQueue.size()) +
+                      " vmiuQ " + std::to_string(vmiuQueue.size()) +
+                      " vluQ " + std::to_string(vluOrder.size()) +
+                      " vsuQ " + std::to_string(vsuOrder.size());
+    if (busStalledUntil > clock().eventQueue().now())
+        out += " busStalledUntil " + std::to_string(busStalledUntil);
+    for (unsigned i = 0; i < vmsus.size(); ++i) {
+        const Vmsu &m = vmsus[i];
+        if (m.queue.empty() && !m.loadSlotsUsed && !m.storeSlotsUsed)
+            continue;
+        out += " | vmsu" + std::to_string(i) + " q" +
+               std::to_string(m.queue.size()) + " ld" +
+               std::to_string(m.loadSlotsUsed) + " st" +
+               std::to_string(m.storeSlotsUsed) + " cam" +
+               std::to_string(m.camUsed);
+    }
+    unsigned listed = 0;
+    for (const auto &kv : inflight) {
+        const VInstr &vi = *kv.second;
+        out += " | v" + std::to_string(vi.vseq) + " " +
+               opName(vi.trace.inst->op) + " lanePend " +
+               std::to_string(vi.lanePending) + " bcastRem " +
+               std::to_string(vi.broadcastRemaining);
+        if (vi.trace.inst->traits().isVecStore)
+            out += " stLines " + std::to_string(vi.storeLinesDone) +
+                   "/" + std::to_string(vi.storeLinesTotal);
+        if (!vi.memGenDone && vi.trace.inst->traits().isVecMem)
+            out += " memGenPending";
+        if (++listed == 8) {
+            out += " | ...";
+            break;
+        }
+    }
+    return out;
 }
 
 // --------------------------------------------------------------------

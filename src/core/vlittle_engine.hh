@@ -41,6 +41,9 @@
 namespace bvl
 {
 
+class FaultInjector;
+class Watchdog;
+
 struct VEngineParams
 {
     std::string name = "vlittle";
@@ -113,6 +116,15 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
 
     const VEngineParams &params() const { return p; }
 
+    /** Attach a fault injector (VCU bus stalls, VMU response drops). */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /** Register the engine's heartbeat with a progress watchdog. */
+    void registerProgress(Watchdog &wd);
+
+    /** In-flight instruction table for deadlock diagnostics. */
+    std::string inflightReport();
+
   protected:
     bool tick() override;
 
@@ -180,12 +192,16 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
     unsigned elemsPerChime(unsigned sewBytes) const;
     unsigned activeChimes(const ExecTrace &trace) const;
     unsigned laneOfElem(unsigned elemIdx, unsigned sewBytes) const;
-    void issueToMemory(unsigned vmsuIdx, const LineReq &req);
+    void issueToMemory(unsigned vmsuIdx, const LineReq &req,
+                       unsigned attempt = 0);
 
     StatGroup &stats;
     MemSystem &mem;
     VEngineParams p;
     std::string sp;   ///< engine stat prefix "<name>."
+    FaultInjector *injector = nullptr;
+    /** Injected VCU command-bus stall: no broadcast until this tick. */
+    Tick busStalledUntil = 0;
 
     std::vector<std::unique_ptr<VectorLane>> lanes;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/watchdog.hh"
+
 namespace bvl
 {
 
@@ -351,6 +353,39 @@ BigCore::commitStage()
         ++numRetired;
         stats.stat(prefix + "retired")++;
     }
+}
+
+void
+BigCore::registerProgress(Watchdog &wd)
+{
+    wd.addSource(prefix + "retire", [this] { return numRetired; },
+                 [this] { return progressDetail(); });
+}
+
+std::string
+BigCore::progressDetail() const
+{
+    if (!running)
+        return "";
+    std::string out = "rob " + std::to_string(rob.size()) + "/" +
+                      std::to_string(p.robEntries) + " ready " +
+                      std::to_string(readyQueue.size()) + " vecQ " +
+                      std::to_string(vecQueue.size()) + " vecOut " +
+                      std::to_string(vecOutstanding) + " ld " +
+                      std::to_string(loadsInFlight) + " st " +
+                      std::to_string(storesInFlight);
+    if (!rob.empty()) {
+        const RobInst &head = *rob.front();
+        out += " | head v" + std::to_string(head.seq) + " " +
+               opName(head.trace.inst->op) +
+               (head.complete ? " complete" : " pending") +
+               (head.trace.inst->isVector() && !head.vecDispatched
+                    ? " awaitingDispatch" : "");
+    }
+    if (blockingBranch)
+        out += " | blocked on branch v" +
+               std::to_string(blockingBranch->seq);
+    return out;
 }
 
 void

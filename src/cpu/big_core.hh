@@ -37,6 +37,8 @@
 namespace bvl
 {
 
+class Watchdog;
+
 struct BigCoreParams
 {
     unsigned fetchWidth = 4;
@@ -73,6 +75,12 @@ class BigCore : public Clocked
     bool busy() const { return running; }
     ArchState &archState() { return arch; }
     std::uint64_t retired() const { return numRetired; }
+
+    /** Register the retire stage's heartbeat with a watchdog. */
+    void registerProgress(Watchdog &wd);
+
+    /** Pipeline occupancy snapshot for deadlock diagnostics. */
+    std::string progressDetail() const;
 
   protected:
     bool tick() override;

@@ -1,5 +1,7 @@
 #include "cpu/little_core.hh"
 
+#include "sim/watchdog.hh"
+
 namespace bvl
 {
 
@@ -200,6 +202,24 @@ LittleCore::tick()
         recordStall(StallCause::misc);   // draining memory
     maybeFinish();
     return running;
+}
+
+void
+LittleCore::registerProgress(Watchdog &wd)
+{
+    wd.addSource(prefix + "retire", [this] { return numRetired; },
+                 [this] { return progressDetail(); });
+}
+
+std::string
+LittleCore::progressDetail() const
+{
+    if (!running)
+        return "";
+    return "fetchQ " + std::to_string(fetchQueue.size()) + " ld " +
+           std::to_string(outstandingLoads) + " st " +
+           std::to_string(outstandingStores) +
+           (haltSeen ? " halting" : "");
 }
 
 } // namespace bvl

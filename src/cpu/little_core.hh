@@ -31,6 +31,8 @@
 namespace bvl
 {
 
+class Watchdog;
+
 struct LittleCoreParams
 {
     FuLatencies fu{};
@@ -64,6 +66,12 @@ class LittleCore : public Clocked
 
     /** Total cycles this core was running a program. */
     std::uint64_t activeCycles() const { return numCycles; }
+
+    /** Register the retire stage's heartbeat with a watchdog. */
+    void registerProgress(Watchdog &wd);
+
+    /** Pipeline occupancy snapshot for deadlock diagnostics. */
+    std::string progressDetail() const;
 
   protected:
     bool tick() override;

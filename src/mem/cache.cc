@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
+#include "sim/watchdog.hh"
+
 namespace bvl
 {
 
@@ -67,6 +70,41 @@ Cache::invalidate(Addr lineAddr)
 }
 
 void
+Cache::registerProgress(Watchdog &wd)
+{
+    // Hits and fills together advance on every serviced access; the
+    // MSHR table is the in-flight request state worth dumping.
+    wd.addSource(p.name,
+                 [this] {
+                     return stats.value(p.name + ".hits") +
+                            stats.value(p.name + ".fills");
+                 },
+                 [this] { return mshrReport(); });
+}
+
+std::string
+Cache::mshrReport() const
+{
+    if (mshrs.empty() && pendingQueue.empty())
+        return "";
+    std::string out = "mshrs " + std::to_string(mshrs.size()) + "/" +
+                      std::to_string(p.numMshrs) + " stalled " +
+                      std::to_string(pendingQueue.size()) + " lines";
+    unsigned listed = 0;
+    for (const auto &kv : mshrs) {
+        out += (listed == 0 ? ": " : " ");
+        out += std::to_string(kv.first);
+        out += kv.second.isWrite ? "(w," : "(r,";
+        out += std::to_string(kv.second.waiters.size()) + "w)";
+        if (++listed == 8) {
+            out += " ...";
+            break;
+        }
+    }
+    return out;
+}
+
+void
 Cache::access(Addr addr, bool isWrite, MemCallback done)
 {
     Addr lineNum = lineOf(lineAlign(addr));
@@ -120,6 +158,11 @@ Cache::handleMiss(Addr lineNum, bool isWrite, MemCallback done,
         mshr.waiters.push_back(std::move(done));
 
     Tick delay = readyTick > eq.now() ? readyTick - eq.now() : 0;
+    // Injected transient: the miss response is stretched by a few
+    // cycles, as if the fill got stuck behind unrelated traffic.
+    if (injector)
+        delay += clock.cyclesToTicks(
+            injector->cacheResponseDelay(eq.now()));
     eq.schedule(delay, [this, lineNum] {
         auto mit = mshrs.find(lineNum);
         bvl_assert(mit != mshrs.end(), "%s: lost MSHR", p.name.c_str());

@@ -27,6 +27,9 @@
 namespace bvl
 {
 
+class FaultInjector;
+class Watchdog;
+
 /** Construction parameters of one Cache. */
 struct CacheParams
 {
@@ -85,6 +88,15 @@ class Cache
     /** Tag-only presence check under the current mode (tests). */
     bool probe(Addr addr) const;
 
+    /** Attach a fault injector that may stretch miss responses. */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /** Register this cache's heartbeat with a progress watchdog. */
+    void registerProgress(Watchdog &wd);
+
+    /** One-line MSHR occupancy description for diagnostics. */
+    std::string mshrReport() const;
+
     /** True if the line is resident in any set (tests). */
     bool residentAnywhere(Addr addr) const
     { return lineMap.count(lineOf(lineAlign(addr))) != 0; }
@@ -128,6 +140,7 @@ class Cache
     CacheParams p;
     MemLevel *next;
     int l1Id;
+    FaultInjector *injector = nullptr;
 
     unsigned numSets;
     IndexMode indexMode = IndexMode::scalarPrivate;

@@ -13,7 +13,9 @@
 #include "mem/cache.hh"
 #include "mem/mem_types.hh"
 #include "sim/clock_domain.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/watchdog.hh"
 
 namespace bvl
 {
@@ -45,14 +47,33 @@ class Dram : public MemLevel
         Tick start = std::max(eq.now(), channelNextFree);
         channelNextFree = start + lineTicks;
         stats.stat(p.name + (isWrite ? ".writes" : ".reads"))++;
+        // Injected transient: response latency stretched as if a
+        // refresh or rank conflict got in the way.
+        Tick extra = injector
+            ? clock.cyclesToTicks(injector->memResponseDelay(eq.now()))
+            : 0;
         if (done)
-            eq.scheduleAt(start + latencyTicks, std::move(done));
+            eq.scheduleAt(start + latencyTicks + extra, std::move(done));
+    }
+
+    /** Attach a fault injector that may stretch responses. */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /** Register the channel's heartbeat with a progress watchdog. */
+    void
+    registerProgress(Watchdog &wd)
+    {
+        wd.addSource(p.name, [this] {
+            return stats.value(p.name + ".reads") +
+                   stats.value(p.name + ".writes");
+        });
     }
 
   private:
     ClockDomain &clock;
     StatGroup &stats;
     DramParams p;
+    FaultInjector *injector = nullptr;
     Tick latencyTicks;
     Tick lineTicks;
     Tick channelNextFree = 0;

@@ -40,6 +40,31 @@ MemSystem::MemSystem(ClockDomain &uncore, StatGroup &sg,
 }
 
 void
+MemSystem::setFaultInjector(FaultInjector *inj)
+{
+    dram->setFaultInjector(inj);
+    l2front->l2cache().setFaultInjector(inj);
+    for (auto &l1d : littleL1Ds)
+        l1d->setFaultInjector(inj);
+    for (auto &l1i : littleL1Is)
+        l1i->setFaultInjector(inj);
+    bigL1Dc->setFaultInjector(inj);
+    bigL1Ic->setFaultInjector(inj);
+}
+
+void
+MemSystem::registerProgress(Watchdog &wd)
+{
+    // One heartbeat per cache keeps the diagnostic table readable and
+    // pinpoints which level stopped servicing requests.
+    for (auto &l1d : littleL1Ds)
+        l1d->registerProgress(wd);
+    bigL1Dc->registerProgress(wd);
+    l2front->l2cache().registerProgress(wd);
+    dram->registerProgress(wd);
+}
+
+void
 MemSystem::fetchInst(unsigned coreId, Addr addr, MemCallback done)
 {
     stats.stat("sys.ifetchReqs")++;

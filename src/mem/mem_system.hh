@@ -170,6 +170,12 @@ class MemSystem
     /** Bank selection for an address (paper's interleaving). */
     unsigned bankOf(Addr addr) const { return bankMap.bankOf(addr); }
 
+    /** Attach a fault injector to every cache and the DRAM channel. */
+    void setFaultInjector(FaultInjector *inj);
+
+    /** Register every level's heartbeat with a progress watchdog. */
+    void registerProgress(Watchdog &wd);
+
     unsigned numLittle() const { return p.numLittle; }
     unsigned bigCoreId() const { return p.numLittle; }
 

@@ -1,5 +1,7 @@
 #include "runtime/ws_runtime.hh"
 
+#include "sim/watchdog.hh"
+
 namespace bvl
 {
 
@@ -11,6 +13,34 @@ ClockDomain &
 WsRuntime::workerClock(const Worker &worker)
 {
     return worker.isBig ? soc.bigClk : soc.littleClk;
+}
+
+void
+WsRuntime::registerProgress(Watchdog &wd)
+{
+    wd.addSource("runtime",
+                 [this] {
+                     return soc.stats.value("runtime.pops") +
+                            soc.stats.value("runtime.steals") +
+                            soc.stats.value("runtime.phases");
+                 },
+                 [this] { return progressDetail(); });
+}
+
+std::string
+WsRuntime::progressDetail() const
+{
+    if (!running)
+        return "";
+    std::string out = "phase " + std::to_string(phaseIdx) + "/" +
+                      std::to_string(graph.phases.size()) +
+                      " inFlight " + std::to_string(tasksInFlight) +
+                      " pending " + std::to_string(pendingTasks) +
+                      " workers";
+    for (const auto &w : workers)
+        out += " " + std::string(w.isBig ? "b" : "l") +
+               (w.idle ? "i" : "r") + std::to_string(w.deque.size());
+    return out;
 }
 
 void

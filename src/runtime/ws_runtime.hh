@@ -24,6 +24,8 @@
 namespace bvl
 {
 
+class Watchdog;
+
 struct RuntimeParams
 {
     Cycles popCost = 20;      ///< deque pop + task setup
@@ -47,6 +49,15 @@ class WsRuntime
              std::function<void()> done);
 
     bool busy() const { return running; }
+
+    /**
+     * Register the scheduler's heartbeat with a watchdog. The runtime
+     * must outlive the watchdog's armed window.
+     */
+    void registerProgress(Watchdog &wd);
+
+    /** Scheduler occupancy snapshot for deadlock diagnostics. */
+    std::string progressDetail() const;
 
   private:
     struct Worker

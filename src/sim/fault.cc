@@ -1,0 +1,98 @@
+#include "sim/fault.hh"
+
+namespace bvl
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::memDelay: return "memDelay";
+      case FaultKind::cacheDelay: return "cacheDelay";
+      case FaultKind::vcuStall: return "vcuStall";
+      case FaultKind::vmuDrop: return "vmuDrop";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, StatGroup &sg)
+    : spec_(std::move(spec)), rng(spec_.seed), stats(sg),
+      fired(spec_.script.size(), false)
+{}
+
+bool
+FaultInjector::roll(double prob)
+{
+    // Draw only for live probabilities so that fault types stay
+    // independent: enabling a scripted stall does not shift the draws
+    // of a probabilistic memory-delay plan.
+    if (prob <= 0.0)
+        return false;
+    return rng.real() < prob;
+}
+
+Cycles
+FaultInjector::takeScripted(FaultKind kind, Tick now)
+{
+    Cycles total = 0;
+    for (std::size_t i = 0; i < spec_.script.size(); ++i) {
+        const ScriptedFault &f = spec_.script[i];
+        if (fired[i] || f.kind != kind || f.atTick > now)
+            continue;
+        fired[i] = true;
+        total += f.cycles;
+        stats.stat(std::string("faults.") + faultKindName(kind) +
+                   ".scripted")++;
+    }
+    return total;
+}
+
+Cycles
+FaultInjector::memResponseDelay(Tick now)
+{
+    if (!spec_.enabled)
+        return 0;
+    Cycles extra = takeScripted(FaultKind::memDelay, now);
+    if (roll(spec_.memDelayProb)) {
+        extra += spec_.memDelayCycles;
+        stats.stat("faults.memDelay")++;
+    }
+    return extra;
+}
+
+Cycles
+FaultInjector::cacheResponseDelay(Tick now)
+{
+    if (!spec_.enabled)
+        return 0;
+    Cycles extra = takeScripted(FaultKind::cacheDelay, now);
+    if (roll(spec_.cacheDelayProb)) {
+        extra += spec_.cacheDelayCycles;
+        stats.stat("faults.cacheDelay")++;
+    }
+    return extra;
+}
+
+Cycles
+FaultInjector::vcuStall(Tick now)
+{
+    if (!spec_.enabled)
+        return 0;
+    Cycles extra = takeScripted(FaultKind::vcuStall, now);
+    if (roll(spec_.vcuStallProb)) {
+        extra += spec_.vcuStallCycles;
+        stats.stat("faults.vcuStall")++;
+    }
+    return extra;
+}
+
+bool
+FaultInjector::dropVmuResponse()
+{
+    if (!spec_.enabled || !roll(spec_.vmuDropProb))
+        return false;
+    stats.stat("faults.vmuDrop")++;
+    return true;
+}
+
+} // namespace bvl

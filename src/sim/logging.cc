@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace bvl
 {
@@ -11,12 +12,29 @@ namespace
 
 bool verboseEnabled = true;
 
-void
-vreport(const char *prefix, const char *fmt, va_list args)
+bool abortOnErrorEnabled = [] {
+    const char *env = std::getenv("BVL_ABORT_ON_ERROR");
+    return env && *env && std::strcmp(env, "0") != 0;
+}();
+
+std::string
+vformat(const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (len < 0)
+        return fmt;
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+void
+report(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 
 } // namespace
@@ -26,9 +44,12 @@ panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    std::string msg = vformat(fmt, args);
     va_end(args);
-    std::abort();
+    report("panic", msg);
+    if (abortOnErrorEnabled)
+        std::abort();
+    throw SimPanicError(msg);
 }
 
 void
@@ -36,9 +57,12 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    std::string msg = vformat(fmt, args);
     va_end(args);
-    std::exit(1);
+    report("fatal", msg);
+    if (abortOnErrorEnabled)
+        std::exit(1);
+    throw SimFatalError(msg);
 }
 
 void
@@ -46,7 +70,7 @@ warn(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    report("warn", vformat(fmt, args));
     va_end(args);
 }
 
@@ -57,7 +81,7 @@ inform(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    report("info", vformat(fmt, args));
     va_end(args);
 }
 
@@ -65,6 +89,18 @@ void
 setVerbose(bool verbose)
 {
     verboseEnabled = verbose;
+}
+
+void
+setAbortOnError(bool abort)
+{
+    abortOnErrorEnabled = abort;
+}
+
+bool
+abortOnError()
+{
+    return abortOnErrorEnabled;
 }
 
 } // namespace bvl

@@ -2,26 +2,53 @@
  * @file
  * Error and status reporting, following the gem5 panic/fatal convention.
  *
- * panic() is for internal simulator bugs ("should never happen"); it
- * aborts. fatal() is for user errors (bad configuration, impossible
- * parameters); it exits with an error code. warn()/inform() report
- * conditions without stopping the simulation.
+ * panic() is for internal simulator bugs ("should never happen");
+ * fatal() is for user errors (bad configuration, impossible
+ * parameters). Both print their message and then throw a SimError
+ * subclass so that sweep drivers can catch the failure, record it as a
+ * structured per-run outcome and keep going. The pre-exception abort
+ * behavior (useful for debugging with core dumps, and for death tests)
+ * is restored with setAbortOnError(true) or BVL_ABORT_ON_ERROR=1 in
+ * the environment. warn()/inform() report conditions without stopping
+ * the simulation.
  */
 
 #ifndef BVL_SIM_LOGGING_HH
 #define BVL_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace bvl
 {
 
-/** Print a formatted message and abort: simulator-internal bug. */
+/** Base class of every error thrown by the simulator. */
+class SimError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown by panic(): a simulator-internal invariant was violated. */
+class SimPanicError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** Thrown by fatal(): unusable user input or configuration. */
+class SimFatalError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** Print a formatted message and throw SimPanicError (or abort). */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print a formatted message and exit(1): unusable user input. */
+/** Print a formatted message and throw SimFatalError (or exit). */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
@@ -33,6 +60,13 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
+
+/**
+ * Opt out of recoverable errors: panic() aborts and fatal() exits
+ * instead of throwing. Also enabled by BVL_ABORT_ON_ERROR=1.
+ */
+void setAbortOnError(bool abort);
+bool abortOnError();
 
 /** panic() unless the given condition holds. */
 #define bvl_assert(cond, fmt, ...)                                       \

@@ -1,0 +1,101 @@
+#include "sim/watchdog.hh"
+
+namespace bvl
+{
+
+void
+Watchdog::addSource(std::string name,
+                    std::function<std::uint64_t()> progress,
+                    std::function<std::string()> detail)
+{
+    Source src;
+    src.name = std::move(name);
+    src.progress = std::move(progress);
+    src.detail = std::move(detail);
+    sources.push_back(std::move(src));
+}
+
+void
+Watchdog::arm()
+{
+    if (_armed)
+        return;
+    bvl_assert(_interval > 0, "watchdog interval must be positive");
+    _armed = true;
+    lastAnyAdvance = eq.now();
+    for (auto &src : sources) {
+        src.lastValue = src.progress ? src.progress() : 0;
+        src.lastAdvance = eq.now();
+    }
+    scheduleCheck();
+}
+
+std::string
+Watchdog::report() const
+{
+    std::string out;
+    out += "watchdog diagnostic @ " + std::to_string(eq.now()) +
+           " ps (pending events: " + std::to_string(eq.size()) +
+           ", executed: " + std::to_string(eq.executed()) + ")\n";
+    out += "  component                       progress  "
+           "last-advance(ps)\n";
+    for (const auto &src : sources) {
+        std::string name = src.name;
+        if (name.size() < 30)
+            name.resize(30, ' ');
+        std::string cnt = std::to_string(src.lastValue);
+        if (cnt.size() < 10)
+            cnt.insert(0, 10 - cnt.size(), ' ');
+        out += "  " + name + cnt + "  " +
+               std::to_string(src.lastAdvance) + "\n";
+    }
+    for (const auto &src : sources) {
+        if (!src.detail)
+            continue;
+        std::string d = src.detail();
+        if (!d.empty())
+            out += "  [" + src.name + "] " + d + "\n";
+    }
+    return out;
+}
+
+void
+Watchdog::scheduleCheck()
+{
+    if (checkPending)
+        return;
+    checkPending = true;
+    eq.schedule(_interval, [this] { check(); });
+}
+
+void
+Watchdog::check()
+{
+    checkPending = false;
+    if (!_armed)
+        return;
+    ++_checks;
+
+    Tick now = eq.now();
+    bool any = false;
+    for (auto &src : sources) {
+        std::uint64_t v = src.progress ? src.progress() : 0;
+        if (v != src.lastValue) {
+            src.lastValue = v;
+            src.lastAdvance = now;
+            any = true;
+        }
+    }
+    if (any) {
+        lastAnyAdvance = now;
+    } else if (now - lastAnyAdvance >= _interval) {
+        std::string diag = report();
+        warn("watchdog: no component made progress for %llu ps; "
+             "declaring deadlock",
+             (unsigned long long)(now - lastAnyAdvance));
+        throw DeadlockError(diag);
+    }
+    scheduleCheck();
+}
+
+} // namespace bvl

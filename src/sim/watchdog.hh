@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Progress watchdog: detects deadlock and livelock in a running
+ * simulation.
+ *
+ * Components register heartbeat counters (retired instructions,
+ * broadcast micro-ops, cache fills, runtime task pops, ...) with the
+ * Watchdog attached to their EventQueue. While armed, a periodic check
+ * event samples every counter; if a full check interval of simulated
+ * time passes in which *no* registered counter advanced, the run is
+ * declared dead and a DeadlockError carrying a structured diagnostic
+ * (per-component last-progress tick and in-flight detail, plus the
+ * pending-event count) is thrown out of the event loop.
+ *
+ * Counters must measure *work* (instructions retired, lines filled),
+ * never cycles: a livelocked engine keeps ticking — and keeps its
+ * cycle counters advancing — without doing anything.
+ *
+ * The check event only reads state, so an armed watchdog never
+ * perturbs simulated timing: cycle counts and statistics are
+ * bit-identical with the watchdog on or off.
+ */
+
+#ifndef BVL_SIM_WATCHDOG_HH
+#define BVL_SIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bvl
+{
+
+/** Thrown from the watchdog check event when no progress is seen. */
+class DeadlockError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+class Watchdog
+{
+  public:
+    /** Default no-progress window: 100 us of simulated time. */
+    static constexpr Tick defaultInterval = 100000 * ticksPerNs;
+
+    explicit Watchdog(EventQueue &eq, Tick interval = defaultInterval)
+        : eq(eq), _interval(interval)
+    {}
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Register one heartbeat. @p progress returns a counter that
+     * advances whenever the component does useful work; @p detail
+     * (optional) describes its in-flight state for the diagnostic.
+     */
+    void addSource(std::string name,
+                   std::function<std::uint64_t()> progress,
+                   std::function<std::string()> detail = {});
+
+    /**
+     * Start watching: baseline every counter at the current tick and
+     * schedule the periodic check. Idempotent.
+     */
+    void arm();
+
+    /** Stop watching; a pending check event becomes a no-op. */
+    void disarm() { _armed = false; }
+
+    bool armed() const { return _armed; }
+
+    /** Change the no-progress window (takes effect on arm()). */
+    void
+    setInterval(Tick interval)
+    {
+        bvl_assert(interval > 0, "watchdog interval must be positive");
+        _interval = interval;
+    }
+
+    Tick interval() const { return _interval; }
+
+    /** Number of check events that have fired (tests). */
+    std::uint64_t checksRun() const { return _checks; }
+
+    /**
+     * Structured diagnostic: one line per source with its progress
+     * count and last-advance tick, followed by each source's in-flight
+     * detail.
+     */
+    std::string report() const;
+
+  private:
+    struct Source
+    {
+        std::string name;
+        std::function<std::uint64_t()> progress;
+        std::function<std::string()> detail;
+        std::uint64_t lastValue = 0;
+        Tick lastAdvance = 0;
+    };
+
+    void scheduleCheck();
+    void check();
+
+    EventQueue &eq;
+    Tick _interval;
+    bool _armed = false;
+    bool checkPending = false;
+    Tick lastAnyAdvance = 0;
+    std::uint64_t _checks = 0;
+    std::vector<Source> sources;
+};
+
+} // namespace bvl
+
+#endif // BVL_SIM_WATCHDOG_HH

@@ -1,97 +1,155 @@
 #include "soc/run_driver.hh"
 
+#include "sim/logging.hh"
+#include "sim/watchdog.hh"
+
 namespace bvl
 {
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::ok: return "ok";
+      case RunStatus::time_limit: return "time_limit";
+      case RunStatus::deadlock: return "deadlock";
+      case RunStatus::verify_failed: return "verify_failed";
+      case RunStatus::sim_error: return "sim_error";
+    }
+    return "?";
+}
 
 RunResult
 runWorkload(Design design, Workload &workload, const RunOptions &opts)
 {
-    SocParams sp;
-    sp.design = design;
-    sp.bigFreqGhz = opts.bigGhz;
-    sp.littleFreqGhz = opts.littleGhz;
-    if (opts.engineOverride)
-        sp.engineOverride =
-            std::make_unique<VEngineParams>(*opts.engineOverride);
-    Soc soc(std::move(sp));
-
-    workload.init(soc.backing);
-
-    bool done = false;
-    auto onDone = [&] { done = true; };
-
-    WsRuntime runtime(soc);
-    bool usedRuntime = false;
-
-    if (workload.isDataParallel()) {
-        switch (design) {
-          case Design::d1L:
-            soc.littles[0]->runProgram(workload.scalarProgram(),
-                                       workload.fullRangeArgs(), onDone);
-            break;
-          case Design::d1b:
-            soc.big->runProgram(workload.scalarProgram(),
-                                workload.fullRangeArgs(), onDone);
-            break;
-          case Design::d1bIV:
-          case Design::d1bDV:
-          case Design::d1b4VL: {
-            ProgramPtr prog = workload.vectorProgram();
-            bvl_assert(prog != nullptr, "%s has no vector program",
-                       workload.name().c_str());
-            soc.big->runProgram(prog, workload.fullRangeArgs(), onDone);
-            break;
-          }
-          case Design::d1b4L:
-            runtime.run(workload.taskGraph(), true,
-                        soc.littles.size(), false, onDone);
-            usedRuntime = true;
-            break;
-          case Design::d1bIV4L:
-            runtime.run(workload.taskGraph(), true,
-                        soc.littles.size(), true, onDone);
-            usedRuntime = true;
-            break;
-        }
-    } else {
-        // Task-parallel (Ligra) workloads always go through the
-        // work-stealing runtime.
-        bool useBig = design != Design::d1L;
-        unsigned littles = 0;
-        switch (design) {
-          case Design::d1L:
-            littles = 1;
-            break;
-          case Design::d1b:
-          case Design::d1bIV:
-          case Design::d1bDV:
-            littles = 0;
-            break;
-          default:
-            littles = static_cast<unsigned>(soc.littles.size());
-            break;
-        }
-        runtime.run(workload.taskGraph(), useBig, littles, false,
-                    onDone);
-        usedRuntime = true;
-    }
-    (void)usedRuntime;
-
-    Tick limit = static_cast<Tick>(opts.limitNs * ticksPerNs);
-    bool finished = soc.runUntil([&] { return done; }, limit);
-
     RunResult r;
     r.workload = workload.name();
     r.design = designName(design);
-    r.finished = finished;
-    r.ns = soc.elapsedNs();
-    if (finished && opts.verifyResult)
-        r.verified = workload.verify(soc.backing);
-    r.ifetchReqs = soc.stats.value("sys.ifetchReqs");
-    r.dataReqs = soc.stats.value("sys.dataReqs");
-    r.bigFetched = soc.stats.value("big.fetched");
-    for (const auto &kv : soc.stats.all())
-        r.stats[kv.first] = kv.second.value();
+
+    std::unique_ptr<Soc> soc;
+    std::unique_ptr<WsRuntime> runtime;
+    bool done = false;
+    bool finished = false;
+
+    try {
+        SocParams sp;
+        sp.design = design;
+        sp.bigFreqGhz = opts.bigGhz;
+        sp.littleFreqGhz = opts.littleGhz;
+        if (opts.engineOverride)
+            sp.engineOverride =
+                std::make_unique<VEngineParams>(*opts.engineOverride);
+        sp.faults = opts.faults;
+        soc = std::make_unique<Soc>(std::move(sp));
+
+        workload.init(soc->backing);
+
+        auto onDone = [&] { done = true; };
+
+        runtime = std::make_unique<WsRuntime>(*soc);
+        runtime->registerProgress(soc->watchdog);
+
+        if (workload.isDataParallel()) {
+            switch (design) {
+              case Design::d1L:
+                soc->littles[0]->runProgram(workload.scalarProgram(),
+                                            workload.fullRangeArgs(),
+                                            onDone);
+                break;
+              case Design::d1b:
+                soc->big->runProgram(workload.scalarProgram(),
+                                     workload.fullRangeArgs(), onDone);
+                break;
+              case Design::d1bIV:
+              case Design::d1bDV:
+              case Design::d1b4VL: {
+                ProgramPtr prog = workload.vectorProgram();
+                bvl_assert(prog != nullptr, "%s has no vector program",
+                           workload.name().c_str());
+                soc->big->runProgram(prog, workload.fullRangeArgs(),
+                                     onDone);
+                break;
+              }
+              case Design::d1b4L:
+                runtime->run(workload.taskGraph(), true,
+                             soc->littles.size(), false, onDone);
+                break;
+              case Design::d1bIV4L:
+                runtime->run(workload.taskGraph(), true,
+                             soc->littles.size(), true, onDone);
+                break;
+            }
+        } else {
+            // Task-parallel (Ligra) workloads always go through the
+            // work-stealing runtime.
+            bool useBig = design != Design::d1L;
+            unsigned littles = 0;
+            switch (design) {
+              case Design::d1L:
+                littles = 1;
+                break;
+              case Design::d1b:
+              case Design::d1bIV:
+              case Design::d1bDV:
+                littles = 0;
+                break;
+              default:
+                littles = static_cast<unsigned>(soc->littles.size());
+                break;
+            }
+            runtime->run(workload.taskGraph(), useBig, littles, false,
+                         onDone);
+        }
+
+        if (opts.watchdog) {
+            soc->watchdog.setInterval(static_cast<Tick>(
+                opts.watchdogIntervalNs * ticksPerNs));
+            soc->watchdog.arm();
+        }
+
+        Tick limit = static_cast<Tick>(opts.limitNs * ticksPerNs);
+        finished = soc->runUntil([&] { return done; }, limit);
+
+        if (finished) {
+            r.status = RunStatus::ok;
+            if (opts.verifyResult) {
+                r.verified = workload.verify(soc->backing);
+                if (!r.verified) {
+                    r.status = RunStatus::verify_failed;
+                    r.message = "result verification failed";
+                }
+            }
+        } else if (soc->eq.empty()) {
+            // The queue drained with the workload incomplete: a lost
+            // wakeup. With the watchdog armed its check event keeps
+            // the queue alive, so this branch is the watchdog-off path.
+            r.status = RunStatus::deadlock;
+            r.message = "event queue drained before completion\n" +
+                        soc->watchdog.report();
+        } else {
+            r.status = RunStatus::time_limit;
+            r.message = "simulated-time limit expired";
+            warn("%s on %s: simulated-time limit (%g ns) expired",
+                 r.workload.c_str(), r.design.c_str(), opts.limitNs);
+        }
+    } catch (const DeadlockError &e) {
+        r.status = RunStatus::deadlock;
+        r.message = e.what();
+    } catch (const SimError &e) {
+        r.status = RunStatus::sim_error;
+        r.message = e.what();
+    }
+
+    if (soc) {
+        soc->watchdog.disarm();
+        r.finished = finished;
+        r.ns = soc->elapsedNs();
+        r.ifetchReqs = soc->stats.value("sys.ifetchReqs");
+        r.dataReqs = soc->stats.value("sys.dataReqs");
+        r.bigFetched = soc->stats.value("big.fetched");
+        for (const auto &kv : soc->stats.all())
+            r.stats[kv.first] = kv.second.value();
+    }
     return r;
 }
 
@@ -100,7 +158,15 @@ runWorkload(Design design, const std::string &name, Scale scale,
             const RunOptions &opts)
 {
     auto w = makeWorkload(name, scale);
-    bvl_assert(w != nullptr, "unknown workload '%s'", name.c_str());
+    if (!w) {
+        RunResult r;
+        r.workload = name;
+        r.design = designName(design);
+        r.status = RunStatus::sim_error;
+        r.message = "unknown workload '" + name + "'";
+        warn("%s", r.message.c_str());
+        return r;
+    }
     return runWorkload(design, *w, opts);
 }
 

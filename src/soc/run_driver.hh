@@ -46,15 +46,38 @@ struct RunOptions
     double limitNs = 1e9;
     /** Skip result verification (pure performance sweeps). */
     bool verifyResult = true;
+    /** Arm the progress watchdog for this run. */
+    bool watchdog = true;
+    /** No-progress window before the watchdog declares deadlock. */
+    double watchdogIntervalNs = 100000.0;
+    /** Deterministic fault-injection plan (disabled by default). */
+    FaultSpec faults{};
 };
+
+/** How a run ended; anything but ok is a recoverable failure. */
+enum class RunStatus
+{
+    ok,             ///< workload completed (and verified, if asked)
+    time_limit,     ///< RunOptions::limitNs expired mid-run
+    deadlock,       ///< watchdog fired or the event queue drained dry
+    verify_failed,  ///< completed but produced a wrong result
+    sim_error,      ///< a model invariant tripped (panic/fatal)
+};
+
+const char *runStatusName(RunStatus s);
 
 struct RunResult
 {
     std::string workload;
     std::string design;
+    RunStatus status = RunStatus::sim_error;
+    /** Diagnostic for any non-ok status (watchdog report, panic text). */
+    std::string message;
     bool finished = false;
     bool verified = false;
     double ns = 0.0;
+
+    bool ok() const { return status == RunStatus::ok; }
 
     /** Key series used by the figures. */
     std::uint64_t ifetchReqs = 0;   ///< Figure 5

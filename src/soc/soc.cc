@@ -59,9 +59,15 @@ Soc::Soc(SocParams params)
     : bigClk(eq, "bigClk", params.bigFreqGhz),
       littleClk(eq, "littleClk", params.littleFreqGhz),
       uncoreClk(eq, "uncoreClk", params.uncoreFreqGhz),
+      watchdog(eq),
       mem(uncoreClk, stats, params.memParams),
       p(std::move(params))
 {
+    if (p.faults.enabled) {
+        injector = std::make_unique<FaultInjector>(p.faults, stats);
+        mem.setFaultInjector(injector.get());
+    }
+
     unsigned vlen = 64;
     if (designHasVector(p.design)) {
         VEngineParams ep = p.engineOverride ? *p.engineOverride
@@ -73,6 +79,8 @@ Soc::Soc(SocParams params)
         ClockDomain &engClk =
             p.design == Design::d1b4VL ? littleClk : bigClk;
         engine = std::make_unique<VlittleEngine>(engClk, stats, mem, ep);
+        if (injector)
+            engine->setFaultInjector(injector.get());
         vlen = engine->params().vlenBits();
     }
 
@@ -84,6 +92,14 @@ Soc::Soc(SocParams params)
     for (unsigned i = 0; i < p.numLittle; ++i)
         littles.push_back(std::make_unique<LittleCore>(
             littleClk, stats, mem, backing, i, vlen, p.littleParams));
+
+    // Heartbeats for deadlock diagnosis; inert until watchdog.arm().
+    big->registerProgress(watchdog);
+    for (auto &l : littles)
+        l->registerProgress(watchdog);
+    if (engine)
+        engine->registerProgress(watchdog);
+    mem.registerProgress(watchdog);
 }
 
 Soc::Soc(Design design, double bigGhz, double littleGhz)

@@ -18,7 +18,9 @@
 #include "mem/mem_system.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/watchdog.hh"
 
 namespace bvl
 {
@@ -53,6 +55,8 @@ struct SocParams
     LittleCoreParams littleParams{};
     /** Engine parameter override (empty = design default preset). */
     std::unique_ptr<VEngineParams> engineOverride;
+    /** Deterministic fault-injection plan (disabled by default). */
+    FaultSpec faults{};
 };
 
 class Soc
@@ -75,11 +79,17 @@ class Soc
     double elapsedNs() const
     { return static_cast<double>(eq.now()) / ticksPerNs; }
 
+    /** The run's fault injector (null when injection is disabled). */
+    FaultInjector *faultInjector() { return injector.get(); }
+
     EventQueue eq;
     ClockDomain bigClk;
     ClockDomain littleClk;
     ClockDomain uncoreClk;
     StatGroup stats;
+    /** Progress watchdog; every component's heartbeat is registered
+     *  at construction, but nothing fires until arm() is called. */
+    Watchdog watchdog;
     BackingStore backing;
     MemSystem mem;
 
@@ -88,6 +98,7 @@ class Soc
     std::unique_ptr<VlittleEngine> engine;
 
   private:
+    std::unique_ptr<FaultInjector> injector;
     SocParams p;
 };
 

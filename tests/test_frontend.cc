@@ -176,7 +176,7 @@ TEST(ProgramTest, OutOfRangePcPanics)
     Asm a("t");
     a.halt();
     auto p = a.finish();
-    EXPECT_DEATH(p->at(5), "out of range");
+    EXPECT_THROW(p->at(5), SimPanicError);
 }
 
 } // namespace

@@ -385,7 +385,7 @@ TEST_F(IsaTest, UndefinedLabelPanics)
 {
     Asm a("t");
     a.j("nowhere").halt();
-    EXPECT_DEATH(a.finish(), "undefined label");
+    EXPECT_THROW(a.finish(), SimPanicError);
 }
 
 TEST_F(IsaTest, VectorElementsSurviveAcrossEw)

@@ -81,7 +81,31 @@ TEST(EventQueueTest, SchedulingInPastPanics)
     EventQueue eq;
     eq.schedule(100, [] {});
     eq.run();
-    EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+    EXPECT_THROW(eq.scheduleAt(50, [] {}), SimPanicError);
+    // The failed schedule must not corrupt the queue.
+    EXPECT_TRUE(eq.empty());
+    eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.run());
+}
+
+TEST(EventQueueTest, SameTickEventsFireInFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Three events at the same tick, scheduled out of order relative
+    // to a later and an earlier one.
+    eq.schedule(50, [&] { order.push_back(1); });
+    eq.schedule(50, [&] { order.push_back(2); });
+    eq.schedule(20, [&] { order.push_back(0); });
+    eq.schedule(50, [&] { order.push_back(3); });
+    // An event scheduling more work for its own tick runs it after
+    // everything already queued for that tick.
+    eq.schedule(50, [&] {
+        order.push_back(4);
+        eq.schedule(0, [&] { order.push_back(5); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
 TEST(ClockDomainTest, CycleTickConversions)
