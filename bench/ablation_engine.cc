@@ -19,19 +19,29 @@ namespace
 void
 sweep(const char *title,
       const std::vector<std::pair<std::string, VEngineParams>> &configs,
-      const std::vector<std::string> &apps, Scale scale)
+      const std::vector<std::string> &apps, Scale scale,
+      SweepRunner &pool)
 {
+    SweepResults runs(pool);
+    for (const auto &name : apps) {
+        runs.push(Design::d1L, name, scale);
+        for (const auto &cfg : configs) {
+            RunOptions opts;
+            opts.engineOverride = cfg.second;
+            runs.push(Design::d1b4VL, name, scale, opts);
+        }
+    }
+
     std::printf("\n[%s]\n%-14s", title, "workload");
     for (const auto &cfg : configs)
         std::printf(" %9s", cfg.first.c_str());
     std::printf("\n");
     for (const auto &name : apps) {
-        auto base = runChecked(Design::d1L, name, scale);
+        auto base = runs.pop();
         std::printf("%-14s", name.c_str());
         for (const auto &cfg : configs) {
-            RunOptions opts;
-            opts.engineOverride = cfg.second;
-            auto r = runChecked(Design::d1b4VL, name, scale, opts);
+            (void)cfg;
+            auto r = runs.pop();
             if (double s = speedupOf(base, r))
                 std::printf(" %9.2f", s);
             else
@@ -61,12 +71,14 @@ main()
     printHeader("Ablation: big.VLITTLE design choices "
                 "(1b-4VL speedup over 1L)", scale);
 
+    SweepRunner pool;
     sweep("chimes x packing (effective VLEN)",
           {{"1c", withChimes(1, false)},
            {"1c+sw", withChimes(1, true)},
            {"2c+sw", withChimes(2, true)},
            {"4c+sw", withChimes(4, true)}},
-          {"saxpy", "blackscholes", "jacobi-2d", "lavamd"}, scale);
+          {"saxpy", "blackscholes", "jacobi-2d", "lavamd"}, scale,
+          pool);
 
     {
         std::vector<std::pair<std::string, VEngineParams>> cfgs;
@@ -78,7 +90,8 @@ main()
             cfgs.push_back({"cmdq" + std::to_string(depth), p});
         }
         sweep("VCU command-queue depth (decoupling from the big core)",
-              cfgs, {"saxpy", "pathfinder", "blackscholes"}, scale);
+              cfgs, {"saxpy", "pathfinder", "blackscholes"}, scale,
+              pool);
     }
 
     {
@@ -89,7 +102,7 @@ main()
             cfgs.push_back({"laneq" + std::to_string(depth), p});
         }
         sweep("lane micro-op queue depth (lock-step slack)", cfgs,
-              {"saxpy", "kmeans", "lavamd"}, scale);
+              {"saxpy", "kmeans", "lavamd"}, scale, pool);
     }
 
     {
@@ -100,7 +113,7 @@ main()
             cfgs.push_back({"coal" + std::to_string(w), p});
         }
         sweep("indexed-access coalescing window (gather-heavy apps)",
-              cfgs, {"lavamd", "particlefilter"}, scale);
+              cfgs, {"lavamd", "particlefilter"}, scale, pool);
     }
     return 0;
 }

@@ -3,6 +3,10 @@
  * Shared helpers for the figure-regeneration benches: scale selection
  * (BVL_SCALE=tiny|small|medium), row printing, and the workload lists
  * of the paper's evaluation (Tables IV/V + Ligra suite).
+ *
+ * All benches submit their full simulation grid to a SweepRunner and
+ * consume the futures in submission order, so stdout is byte-identical
+ * for any BVL_JOBS while the independent simulations run concurrently.
  */
 
 #ifndef BVL_BENCH_BENCH_UTIL_HH
@@ -11,11 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "sim/logging.hh"
 #include "soc/run_driver.hh"
+#include "sweep/sweep_runner.hh"
 
 namespace bvlbench
 {
@@ -63,18 +69,56 @@ taskParallelNames()
             "mis", "kcore"};
 }
 
+/** Report a failed run while consuming sweep results. */
+inline RunResult
+checkResult(RunResult r)
+{
+    if (!r.ok())
+        warn("%s on %s: %s%s%s", r.workload.c_str(), r.design.c_str(),
+             runStatusName(r.status), r.message.empty() ? "" : ": ",
+             r.message.c_str());
+    return r;
+}
+
 /** Run and insist on a finished, verified result. */
 inline RunResult
 runChecked(Design d, const std::string &name, Scale scale,
            RunOptions opts = {})
 {
-    auto r = runWorkload(d, name, scale, opts);
-    if (!r.ok())
-        warn("%s on %s: %s%s%s", name.c_str(), designName(d),
-             runStatusName(r.status), r.message.empty() ? "" : ": ",
-             r.message.c_str());
-    return r;
+    return checkResult(runWorkload(d, name, scale, opts));
 }
+
+/**
+ * Submission-ordered consumer of sweep futures: benches push every
+ * run of their grid, then pop results in the same order while
+ * printing. Deterministic output regardless of completion order.
+ */
+class SweepResults
+{
+  public:
+    explicit SweepResults(SweepRunner &pool) : pool(pool) {}
+
+    void
+    push(Design d, const std::string &name, Scale scale,
+         RunOptions opts = {})
+    {
+        futures.push_back(pool.submit({d, name, scale, opts}));
+    }
+
+    /** Next result in submission order (warns if the run failed). */
+    RunResult
+    pop()
+    {
+        bvl_assert(next < futures.size(),
+                   "more sweep results consumed than submitted");
+        return checkResult(futures[next++].get());
+    }
+
+  private:
+    SweepRunner &pool;
+    std::vector<std::future<RunResult>> futures;
+    std::size_t next = 0;
+};
 
 /** Can this result be used as the denominator/numerator of a ratio? */
 inline bool

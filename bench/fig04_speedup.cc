@@ -18,11 +18,20 @@ namespace
 
 void
 runSuite(const char *label, const std::vector<std::string> &names,
-         Scale scale)
+         Scale scale, SweepRunner &pool)
 {
     const Design designs[] = {Design::d1b, Design::d1bIV, Design::d1b4L,
                               Design::d1bIV4L, Design::d1bDV,
                               Design::d1b4VL};
+
+    // Submit the whole (workload x design) grid up front; results come
+    // back in submission order no matter when each job finishes.
+    SweepResults runs(pool);
+    for (const auto &name : names) {
+        runs.push(Design::d1L, name, scale);
+        for (Design d : designs)
+            runs.push(d, name, scale);
+    }
 
     std::printf("\n[%s]\n", label);
     std::printf("%-14s", "workload");
@@ -34,11 +43,12 @@ runSuite(const char *label, const std::vector<std::string> &names,
     std::vector<double> logsum(6, 0.0);
     std::vector<unsigned> counted(6, 0);
     for (const auto &name : names) {
-        auto base = runChecked(Design::d1L, name, scale);
+        auto base = runs.pop();
         std::printf("%-14s %8.2f", name.c_str(), 1.0);
         unsigned i = 0;
         for (Design d : designs) {
-            auto r = runChecked(d, name, scale);
+            (void)d;
+            auto r = runs.pop();
             double speedup = speedupOf(base, r);
             if (speedup > 0.0) {
                 logsum[i] += std::log(speedup);
@@ -67,9 +77,10 @@ main()
 {
     setVerbose(false);
     Scale scale = chosenScale(Scale::small);
+    SweepRunner pool;
     printHeader("Figure 4: speedup over 1L", scale);
-    runSuite("task-parallel (Ligra)", taskParallelNames(), scale);
+    runSuite("task-parallel (Ligra)", taskParallelNames(), scale, pool);
     runSuite("data-parallel (kernels + apps)", dataParallelNames(),
-             scale);
+             scale, pool);
     return 0;
 }

@@ -21,8 +21,16 @@ const char *causes[] = {"busy", "simd", "raw_mem", "raw_llfu", "struct",
                         "xelem", "misc"};
 
 void
-runConfig(const char *label, const VEngineParams &ep, Scale scale)
+runConfig(const char *label, const VEngineParams &ep, Scale scale,
+          SweepRunner &pool)
 {
+    SweepResults runs(pool);
+    for (const auto &name : dataParallelNames()) {
+        RunOptions opts;
+        opts.engineOverride = ep;
+        runs.push(Design::d1b4VL, name, scale, opts);
+    }
+
     std::printf("\n[%s] (VLEN=%u)\n", label, ep.vlenBits());
     std::printf("%-14s", "workload");
     for (auto c : causes)
@@ -30,9 +38,7 @@ runConfig(const char *label, const VEngineParams &ep, Scale scale)
     std::printf("\n");
 
     for (const auto &name : dataParallelNames()) {
-        RunOptions opts;
-        opts.engineOverride = ep;
-        auto r = runChecked(Design::d1b4VL, name, scale, opts);
+        auto r = runs.pop();
 
         // Average the four lanes' per-cause cycles; report percent.
         double total = 0.0;
@@ -71,8 +77,9 @@ main()
     VEngineParams oneChimePacked = vlittlePreset();
     oneChimePacked.chimes = 1;
 
-    runConfig("1c", oneChime, scale);
-    runConfig("1c+sw", oneChimePacked, scale);
-    runConfig("2c+sw", vlittlePreset(), scale);
+    SweepRunner pool;
+    runConfig("1c", oneChime, scale, pool);
+    runConfig("1c+sw", oneChimePacked, scale, pool);
+    runConfig("2c+sw", vlittlePreset(), scale, pool);
     return 0;
 }

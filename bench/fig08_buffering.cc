@@ -26,21 +26,31 @@ main()
                                            "pathfinder", "backprop",
                                            "jacobi-2d", "kmeans"};
 
-    std::printf("%-14s", "workload");
-    for (unsigned d : depths)
-        std::printf(" %7u", d);
-    std::printf("\n");
-
+    SweepRunner pool;
+    SweepResults runs(pool);
     for (const auto &name : apps) {
-        auto base = runChecked(Design::d1L, name, scale);
-        std::printf("%-14s", name.c_str());
+        runs.push(Design::d1L, name, scale);
         for (unsigned d : depths) {
             VEngineParams ep = vlittlePreset();
             ep.loadQueueLines = d;
             ep.storeQueueLines = d;
             RunOptions opts;
             opts.engineOverride = ep;
-            auto r = runChecked(Design::d1b4VL, name, scale, opts);
+            runs.push(Design::d1b4VL, name, scale, opts);
+        }
+    }
+
+    std::printf("%-14s", "workload");
+    for (unsigned d : depths)
+        std::printf(" %7u", d);
+    std::printf("\n");
+
+    for (const auto &name : apps) {
+        auto base = runs.pop();
+        std::printf("%-14s", name.c_str());
+        for (unsigned d : depths) {
+            (void)d;
+            auto r = runs.pop();
             if (double s = speedupOf(base, r))
                 std::printf(" %7.2f", s);
             else

@@ -20,16 +20,27 @@ main()
     printHeader("Figure 10: 1b-4VL execution time vs power across V/f "
                 "combinations", scale);
 
+    SweepRunner pool;
+    SweepResults runs(pool);
+    for (const auto &name : dataParallelNames()) {
+        (void)name;
+        for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+            for (unsigned li = 0; li < littleLevels.size(); ++li) {
+                RunOptions opts;
+                opts.bigGhz = bigLevels[bi].freqGhz;
+                opts.littleGhz = littleLevels[li].freqGhz;
+                runs.push(Design::d1b4VL, name, scale, opts);
+            }
+        }
+    }
+
     for (const auto &name : dataParallelNames()) {
         std::printf("\n%s\n%6s %6s %12s %8s %7s\n", name.c_str(), "big",
                     "little", "time(ns)", "power(W)", "pareto");
         std::vector<PerfPowerPoint> points;
         for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
             for (unsigned li = 0; li < littleLevels.size(); ++li) {
-                RunOptions opts;
-                opts.bigGhz = bigLevels[bi].freqGhz;
-                opts.littleGhz = littleLevels[li].freqGhz;
-                auto r = runChecked(Design::d1b4VL, name, scale, opts);
+                auto r = runs.pop();
                 if (!usable(r)) {
                     // Keep the failed combination off the frontier.
                     std::printf("%6s %6s %12s\n", bigLevels[bi].name,

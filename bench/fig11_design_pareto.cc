@@ -22,10 +22,10 @@ main()
     const Design designs[] = {Design::d1b4L, Design::d1bIV4L,
                               Design::d1bDV, Design::d1b4VL};
 
+    SweepRunner pool;
+    SweepResults runs(pool);
     for (const auto &name : dataParallelNames()) {
-        std::printf("\n%s\n", name.c_str());
         for (Design d : designs) {
-            std::vector<PerfPowerPoint> points;
             for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
                 // 1bDV has no little cluster: sweep big levels only.
                 unsigned lcount = d == Design::d1bDV
@@ -34,7 +34,21 @@ main()
                     RunOptions opts;
                     opts.bigGhz = bigLevels[bi].freqGhz;
                     opts.littleGhz = littleLevels[li].freqGhz;
-                    auto r = runChecked(d, name, scale, opts);
+                    runs.push(d, name, scale, opts);
+                }
+            }
+        }
+    }
+
+    for (const auto &name : dataParallelNames()) {
+        std::printf("\n%s\n", name.c_str());
+        for (Design d : designs) {
+            std::vector<PerfPowerPoint> points;
+            for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+                unsigned lcount = d == Design::d1bDV
+                    ? 1u : static_cast<unsigned>(littleLevels.size());
+                for (unsigned li = 0; li < lcount; ++li) {
+                    auto r = runs.pop();
                     if (!usable(r))
                         continue;   // runChecked already warned
                     points.push_back(

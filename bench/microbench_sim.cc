@@ -13,6 +13,7 @@
 #include "mem/mem_system.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
+#include "sweep/sweep_runner.hh"
 
 namespace
 {
@@ -113,6 +114,32 @@ BM_BigCoreSimSpeed(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BigCoreSimSpeed);
+
+/**
+ * End-to-end sweep throughput through the parallel runner: a small
+ * grid of independent simulations at the given thread count. Arg(1)
+ * is the serial (inline) baseline; higher args exercise the pool.
+ */
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    std::vector<SweepJob> grid;
+    for (const char *name : {"vvadd", "saxpy"})
+        for (Design d : {Design::d1L, Design::d1b, Design::d1b4VL})
+            grid.push_back({d, name, Scale::tiny, {}});
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        auto results =
+            runSweep(grid, static_cast<unsigned>(state.range(0)));
+        for (const auto &r : results)
+            if (r.ok())
+                ++completed;
+        benchmark::DoNotOptimize(results);
+    }
+    state.counters["runs/s"] = benchmark::Counter(
+        static_cast<double>(completed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -1,15 +1,18 @@
 /**
  * @file
  * Run one workload from the built-in suite on all seven evaluated
- * systems and print a Figure-4-style speedup row.
+ * systems and print a Figure-4-style speedup row. The seven runs are
+ * independent simulations, so they go through the parallel sweep
+ * runner (BVL_JOBS threads) and are printed in submission order.
  *
  *   $ ./example_compare_designs [workload] [tiny|small|medium]
  */
 
 #include <cstdio>
 #include <cstring>
+#include <future>
 
-#include "soc/run_driver.hh"
+#include "sweep/sweep_runner.hh"
 
 using namespace bvl;
 
@@ -25,7 +28,19 @@ main(int argc, char **argv)
                                                 : Scale::small;
     }
 
-    auto base = runWorkload(Design::d1L, name, scale);
+    const Design others[] = {Design::d1b, Design::d1bIV, Design::d1b4L,
+                             Design::d1bIV4L, Design::d1bDV,
+                             Design::d1b4VL};
+
+    // All seven runs are submitted before any result is consumed, so
+    // they execute concurrently; futures resolve in submission order.
+    SweepRunner pool;
+    auto baseFut = pool.submit({Design::d1L, name, scale, {}});
+    std::vector<std::future<RunResult>> futures;
+    for (Design d : others)
+        futures.push_back(pool.submit({d, name, scale, {}}));
+
+    auto base = baseFut.get();
     if (!base.ok()) {
         std::fprintf(stderr, "baseline failed (%s): %s\n",
                      runStatusName(base.status), base.message.c_str());
@@ -36,17 +51,17 @@ main(int argc, char **argv)
                 "speedup", "status");
     std::printf("%-10s %12.0f %10.2f %14s\n", "1L", base.ns, 1.0,
                 runStatusName(base.status));
-    for (Design d : {Design::d1b, Design::d1bIV, Design::d1b4L,
-                     Design::d1bIV4L, Design::d1bDV, Design::d1b4VL}) {
-        auto r = runWorkload(d, name, scale);
+    for (unsigned i = 0; i < futures.size(); ++i) {
+        auto r = futures[i].get();
         // A failed design is reported and skipped, not fatal: the
         // remaining designs still produce their rows.
         if (r.ok())
-            std::printf("%-10s %12.0f %10.2f %14s\n", designName(d),
-                        r.ns, base.ns / r.ns, runStatusName(r.status));
+            std::printf("%-10s %12.0f %10.2f %14s\n",
+                        designName(others[i]), r.ns, base.ns / r.ns,
+                        runStatusName(r.status));
         else
-            std::printf("%-10s %12s %10s %14s\n", designName(d), "-",
-                        "-", runStatusName(r.status));
+            std::printf("%-10s %12s %10s %14s\n", designName(others[i]),
+                        "-", "-", runStatusName(r.status));
     }
     return 0;
 }

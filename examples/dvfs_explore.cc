@@ -6,13 +6,17 @@
  * Demonstrates the paper's conclusion — slow the big core, boost the
  * little cluster.
  *
+ * The 16 V/f points are independent simulations, so they run through
+ * the parallel sweep runner (BVL_JOBS threads).
+ *
  *   $ ./example_dvfs_explore [workload]
  */
 
 #include <cstdio>
+#include <future>
 
 #include "power/power_model.hh"
-#include "soc/run_driver.hh"
+#include "sweep/sweep_runner.hh"
 
 using namespace bvl;
 
@@ -22,14 +26,23 @@ main(int argc, char **argv)
     setVerbose(false);
     std::string name = argc > 1 ? argv[1] : "blackscholes";
 
-    std::vector<PerfPowerPoint> points;
+    SweepRunner pool;
+    std::vector<std::future<RunResult>> futures;
     for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
         for (unsigned li = 0; li < littleLevels.size(); ++li) {
             RunOptions opts;
             opts.bigGhz = bigLevels[bi].freqGhz;
             opts.littleGhz = littleLevels[li].freqGhz;
-            auto r = runWorkload(Design::d1b4VL, name, Scale::tiny,
-                                 opts);
+            futures.push_back(pool.submit(
+                {Design::d1b4VL, name, Scale::tiny, opts}));
+        }
+    }
+
+    std::vector<PerfPowerPoint> points;
+    auto fut = futures.begin();
+    for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+        for (unsigned li = 0; li < littleLevels.size(); ++li) {
+            auto r = (fut++)->get();
             if (!r.finished)
                 continue;
             points.push_back({bi, li, r.ns,

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build and run the full test suite twice,
-# once normally and once under AddressSanitizer + UBSan.
+# Tier-1 verification: build and run the full test suite normally and
+# under AddressSanitizer + UBSan, then run the concurrency/determinism
+# tests under ThreadSanitizer to check the parallel sweep runner and
+# the library's re-entrancy guarantees.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,9 +13,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "=== parallel sweep determinism (BVL_JOBS=1 vs 4) ==="
+BVL_SCALE=tiny BVL_JOBS=1 ./build/bench/fig04_speedup > build/fig04.j1
+BVL_SCALE=tiny BVL_JOBS=4 ./build/bench/fig04_speedup > build/fig04.j4
+cmp build/fig04.j1 build/fig04.j4
+echo "fig04_speedup output is byte-identical across thread counts"
+
 echo "=== sanitized build (ASan + UBSan) ==="
-cmake -B build-asan -S . -DBVL_SANITIZE=ON >/dev/null
+cmake -B build-asan -S . -DBVL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== thread-sanitized build (TSan, concurrency tests) ==="
+cmake -B build-tsan -S . -DBVL_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+      -R 'Determinism|SweepRunner|Concurrency|LogCapture'
 
 echo "=== ci.sh: all checks passed ==="

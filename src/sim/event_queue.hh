@@ -12,9 +12,9 @@
 #ifndef BVL_SIM_EVENT_QUEUE_HH
 #define BVL_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -47,7 +47,8 @@ class EventQueue
         bvl_assert(when >= _now, "event scheduled in the past "
                    "(when=%llu now=%llu)",
                    (unsigned long long)when, (unsigned long long)_now);
-        heap.push(Event{when, nextSeq++, std::move(fn)});
+        heap.push_back(Event{when, nextSeq++, std::move(fn)});
+        std::push_heap(heap.begin(), heap.end(), laterThan);
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
@@ -62,7 +63,7 @@ class EventQueue
 
     /** Time of the earliest pending event (maxTick if none). */
     Tick nextEventTick() const
-    { return heap.empty() ? maxTick : heap.top().when; }
+    { return heap.empty() ? maxTick : heap.front().when; }
 
     /**
      * Pop and execute the earliest event, advancing time.
@@ -74,9 +75,13 @@ class EventQueue
         if (heap.empty())
             return false;
         // Move the event out before firing: the callback may schedule
-        // new events and reshape the heap.
-        Event ev = heap.top();
-        heap.pop();
+        // new events and reshape the heap. pop_heap rotates the
+        // earliest event to the back, so the move really is a move —
+        // copying the std::function here would heap-allocate on the
+        // hottest loop in the simulator.
+        std::pop_heap(heap.begin(), heap.end(), laterThan);
+        Event ev = std::move(heap.back());
+        heap.pop_back();
         _now = ev.when;
         ev.fn();
         ++_executed;
@@ -92,7 +97,7 @@ class EventQueue
     run(Tick limit = maxTick)
     {
         while (!heap.empty()) {
-            if (heap.top().when > limit)
+            if (heap.front().when > limit)
                 return false;
             step();
         }
@@ -108,7 +113,7 @@ class EventQueue
     runUntil(const std::function<bool()> &done, Tick limit = maxTick)
     {
         while (!done()) {
-            if (heap.empty() || heap.top().when > limit)
+            if (heap.empty() || heap.front().when > limit)
                 return false;
             step();
         }
@@ -124,17 +129,21 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         EventFn fn;
-
-        bool
-        operator>(const Event &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    /** Min-heap comparator: the standard heap algorithms build a
+     *  max-heap, so "greater" puts the earliest event at the front. */
+    static bool
+    laterThan(const Event &a, const Event &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    /** Binary min-heap maintained with std::push_heap/std::pop_heap;
+     *  heap.front() is always the earliest pending event. */
+    std::vector<Event> heap;
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t _executed = 0;

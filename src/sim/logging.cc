@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,12 +11,15 @@ namespace bvl
 namespace
 {
 
-bool verboseEnabled = true;
+std::atomic<bool> verboseEnabled{true};
 
-bool abortOnErrorEnabled = [] {
+std::atomic<bool> abortOnErrorEnabled{[] {
     const char *env = std::getenv("BVL_ABORT_ON_ERROR");
     return env && *env && std::strcmp(env, "0") != 0;
-}();
+}()};
+
+/** Innermost capture installed on this thread (nullptr = stderr). */
+thread_local LogCapture *activeCapture = nullptr;
 
 std::string
 vformat(const char *fmt, va_list args)
@@ -34,10 +38,33 @@ vformat(const char *fmt, va_list args)
 void
 report(const char *prefix, const std::string &msg)
 {
+    if (activeCapture) {
+        activeCapture->append(prefix, msg);
+        return;
+    }
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 
 } // namespace
+
+LogCapture::LogCapture() : prev(activeCapture)
+{
+    activeCapture = this;
+}
+
+LogCapture::~LogCapture()
+{
+    activeCapture = prev;
+}
+
+void
+LogCapture::append(const char *prefix, const std::string &msg)
+{
+    buf += prefix;
+    buf += ": ";
+    buf += msg;
+    buf += '\n';
+}
 
 void
 panic(const char *fmt, ...)
@@ -47,7 +74,7 @@ panic(const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     report("panic", msg);
-    if (abortOnErrorEnabled)
+    if (abortOnErrorEnabled.load(std::memory_order_relaxed))
         std::abort();
     throw SimPanicError(msg);
 }
@@ -60,7 +87,7 @@ fatal(const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     report("fatal", msg);
-    if (abortOnErrorEnabled)
+    if (abortOnErrorEnabled.load(std::memory_order_relaxed))
         std::exit(1);
     throw SimFatalError(msg);
 }
@@ -77,7 +104,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!verboseEnabled)
+    if (!verboseEnabled.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -88,19 +115,19 @@ inform(const char *fmt, ...)
 void
 setVerbose(bool verbose)
 {
-    verboseEnabled = verbose;
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
 }
 
 void
 setAbortOnError(bool abort)
 {
-    abortOnErrorEnabled = abort;
+    abortOnErrorEnabled.store(abort, std::memory_order_relaxed);
 }
 
 bool
 abortOnError()
 {
-    return abortOnErrorEnabled;
+    return abortOnErrorEnabled.load(std::memory_order_relaxed);
 }
 
 } // namespace bvl

@@ -11,6 +11,11 @@
  * is restored with setAbortOnError(true) or BVL_ABORT_ON_ERROR=1 in
  * the environment. warn()/inform() report conditions without stopping
  * the simulation.
+ *
+ * Everything here is safe to use from concurrent simulation contexts:
+ * the verbose/abort flags are atomics, and a LogCapture installed on a
+ * thread redirects that thread's diagnostics into a private buffer so
+ * parallel runs never interleave on stderr (DESIGN.md §10).
  */
 
 #ifndef BVL_SIM_LOGGING_HH
@@ -68,11 +73,46 @@ void setVerbose(bool verbose);
 void setAbortOnError(bool abort);
 bool abortOnError();
 
+/**
+ * RAII redirection of this thread's diagnostics into a buffer.
+ *
+ * While a LogCapture is alive on a thread, every warn()/inform() line
+ * emitted from that thread — and the message printed by panic()/
+ * fatal() before they throw — is appended to the capture instead of
+ * stderr. Captures nest: the innermost one on the thread receives the
+ * text. runWorkload() installs one per run so each RunResult owns its
+ * diagnostics and concurrent sweeps never interleave output.
+ */
+class LogCapture
+{
+  public:
+    LogCapture();
+    ~LogCapture();
+    LogCapture(const LogCapture &) = delete;
+    LogCapture &operator=(const LogCapture &) = delete;
+
+    /** Captured text so far (one "prefix: message\n" per line). */
+    const std::string &text() const { return buf; }
+
+    /** Return the captured text, leaving the capture empty. */
+    std::string take() { return std::move(buf); }
+
+    /** Internal: append one diagnostic line (used by the reporters). */
+    void append(const char *prefix, const std::string &msg);
+
+  private:
+    std::string buf;
+    LogCapture *prev;   ///< next-outer capture on this thread
+};
+
 /** panic() unless the given condition holds. */
+// The condition text is passed as a %s argument, not pasted into the
+// format string: a '%' inside the condition (e.g. "x % 64 == 0")
+// would otherwise be misparsed as a conversion specifier.
 #define bvl_assert(cond, fmt, ...)                                       \
     do {                                                                 \
         if (!(cond))                                                     \
-            ::bvl::panic("assertion '" #cond "' failed: " fmt,           \
+            ::bvl::panic("assertion '%s' failed: " fmt, #cond,           \
                          ##__VA_ARGS__);                                 \
     } while (0)
 

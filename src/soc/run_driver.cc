@@ -22,6 +22,11 @@ runStatusName(RunStatus s)
 RunResult
 runWorkload(Design design, Workload &workload, const RunOptions &opts)
 {
+    // Divert this thread's diagnostics into the result for the
+    // duration of the run: sweep workers must not interleave on
+    // stderr, and each result should own its own warnings.
+    LogCapture capture;
+
     RunResult r;
     r.workload = workload.name();
     r.design = designName(design);
@@ -150,6 +155,7 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
         for (const auto &kv : soc->stats.all())
             r.stats[kv.first] = kv.second.value();
     }
+    r.log = capture.take();
     return r;
 }
 
@@ -157,6 +163,9 @@ RunResult
 runWorkload(Design design, const std::string &name, Scale scale,
             const RunOptions &opts)
 {
+    // Also capture diagnostics emitted while *building* the workload
+    // (graph generation, program assembly) — they belong to this run.
+    LogCapture capture;
     auto w = makeWorkload(name, scale);
     if (!w) {
         RunResult r;
@@ -165,9 +174,13 @@ runWorkload(Design design, const std::string &name, Scale scale,
         r.status = RunStatus::sim_error;
         r.message = "unknown workload '" + name + "'";
         warn("%s", r.message.c_str());
+        r.log = capture.take();
         return r;
     }
-    return runWorkload(design, *w, opts);
+    auto r = runWorkload(design, *w, opts);
+    // Construction happened before the run, so its text goes first.
+    r.log = capture.take() + r.log;
+    return r;
 }
 
 } // namespace bvl

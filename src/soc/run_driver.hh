@@ -73,6 +73,12 @@ struct RunResult
     RunStatus status = RunStatus::sim_error;
     /** Diagnostic for any non-ok status (watchdog report, panic text). */
     std::string message;
+    /**
+     * Everything warn()/inform()/panic()/fatal() printed during this
+     * run, captured per-run (LogCapture) so concurrent sweep jobs
+     * never interleave diagnostics on stderr.
+     */
+    std::string log;
     bool finished = false;
     bool verified = false;
     double ns = 0.0;

@@ -1,0 +1,117 @@
+#include "sweep/sweep_runner.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace bvl
+{
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("BVL_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1)
+            fatal("BVL_JOBS must be a positive integer, got '%s'", env);
+        return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : numJobs(jobs ? jobs : defaultJobs())
+{
+    // numJobs == 1 runs everything inline in submit(); otherwise the
+    // pool is fixed at construction so a sweep's thread count never
+    // depends on its job count.
+    if (numJobs > 1) {
+        workers.reserve(numJobs);
+        for (unsigned i = 0; i < numJobs; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+SweepRunner::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<RunResult()> task;
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;     // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        // The task owns its whole simulation context; exceptions are
+        // banked in the future by packaged_task.
+        task();
+    }
+}
+
+std::future<RunResult>
+SweepRunner::submit(std::function<RunResult()> fn)
+{
+    std::packaged_task<RunResult()> task(std::move(fn));
+    auto fut = task.get_future();
+    if (numJobs == 1) {
+        // Exact legacy behavior: run now, on this thread.
+        task();
+        return fut;
+    }
+    {
+        std::lock_guard<std::mutex> lock(m);
+        bvl_assert(!stopping, "submit() on a stopped SweepRunner");
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+    return fut;
+}
+
+std::future<RunResult>
+SweepRunner::submit(SweepJob job)
+{
+    return submit([job = std::move(job)] {
+        return runWorkload(job.design, job.workload, job.scale,
+                           job.opts);
+    });
+}
+
+std::vector<RunResult>
+SweepRunner::runAll(const std::vector<SweepJob> &sweep)
+{
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(sweep.size());
+    for (const auto &job : sweep)
+        futures.push_back(submit(job));
+    std::vector<RunResult> results;
+    results.reserve(sweep.size());
+    for (auto &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &sweep, unsigned jobs)
+{
+    SweepRunner runner(jobs);
+    return runner.runAll(sweep);
+}
+
+} // namespace bvl

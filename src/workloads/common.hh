@@ -26,8 +26,8 @@ constexpr Addr regionE = 0x05000000;
 class WorkloadBase : public Workload
 {
   protected:
-    /** Finish a program and place its text uniquely. */
-    static ProgramPtr
+    /** Finish a program and place its text uniquely in this workload. */
+    ProgramPtr
     finishProg(Asm &a)
     {
         auto prog = a.finish();

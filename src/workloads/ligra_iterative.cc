@@ -334,14 +334,18 @@ class MisWorkload : public GraphWorkloadBase
         return finishProg(a);
     }
 
-    /** emitEdgeLoop with uniquified inner labels. */
+    /**
+     * emitEdgeLoop with uniquified inner labels. Labels only need to
+     * be unique within the program being assembled, so the suffix is
+     * the emission position in @p a — deterministic and private to
+     * the owning workload, unlike a process-wide counter.
+     */
     static void
     emitEdgeLoopWithUnique(Asm &a, RegId offs, RegId tgts,
                            const std::string &tag,
                            const std::function<void(const char *)> &fn)
     {
-        static int uniq = 0;
-        std::string u = tag + std::to_string(uniq++);
+        std::string u = tag + std::to_string(a.size());
         emitEdgeLoop(a, offs, tgts, u, [&] { fn(u.c_str()); });
     }
 

@@ -15,12 +15,8 @@ std::vector<WorkloadPtr> makeTraversalGraphApps(Scale scale);
 Addr
 Workload::nextTextBase()
 {
-    // Text segments live far above all data regions and are spaced a
-    // page apart so instruction lines of different programs never
-    // alias in confusing ways.
-    static Addr next = 0x40000000;
-    Addr base = next;
-    next += 0x10000;
+    Addr base = nextText;
+    nextText += 0x10000;
     return base;
 }
 
