@@ -20,6 +20,10 @@ namespace
 
 using namespace bvl;
 
+/**
+ * Schedule+drain of 1000 closure events — the historic combined
+ * number, kept for comparison across revisions.
+ */
 void
 BM_EventQueue(benchmark::State &state)
 {
@@ -33,6 +37,103 @@ BM_EventQueue(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventQueue);
+
+/**
+ * Schedule cost alone: 1000 closure events pushed into a fresh queue;
+ * the destructor discards them untimed-ish (it only tears down the
+ * heap vector and node pool, it never invokes callables).
+ */
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i * 10, [&] { ++sink; });
+        benchmark::DoNotOptimize(eq.size());
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+/** Drain cost alone: the queue is refilled outside the timed region. */
+void
+BM_EventQueueDrain(benchmark::State &state)
+{
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i * 10, [&] { ++fired; });
+        state.ResumeTiming();
+        eq.run();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueDrain);
+
+/** Clocked stub whose tick re-arms itself a fixed number of times. */
+class BenchTicker : public Clocked
+{
+  public:
+    using Clocked::Clocked;
+    std::uint64_t remaining = 0;
+
+  protected:
+    bool tick() override { return --remaining != 0; }
+};
+
+/**
+ * Steady-state cost of one simulated cycle of an active component:
+ * intrusive TickEvent re-arm, heap push/pop, virtual process()
+ * dispatch. This is the path every active Clocked pays every cycle.
+ */
+void
+BM_TickChurn(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1.0);
+    BenchTicker t(cd, "t");
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        t.remaining = 1000;
+        t.activate();
+        eq.run();
+        cycles += 1000;
+    }
+    state.counters["ticks/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TickChurn);
+
+/** Interned-handle stat increment: the hot-path discipline. */
+void
+BM_StatIncrement(benchmark::State &state)
+{
+    StatGroup sg;
+    StatHandle h = sg.handle("bench.counter");
+    for (auto _ : state) {
+        h++;
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(h.value());
+}
+BENCHMARK(BM_StatIncrement);
+
+/** Name-keyed increment: what every hot-path call site used to do. */
+void
+BM_StatLookupIncrement(benchmark::State &state)
+{
+    StatGroup sg;
+    for (auto _ : state) {
+        sg.stat(std::string("bench.") + "counter")++;
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(sg.value("bench.counter"));
+}
+BENCHMARK(BM_StatLookupIncrement);
 
 void
 BM_CacheHitPath(benchmark::State &state)

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Simulation-kernel benchmark harness.
+#
+# Builds the benchmarks in a dedicated Release tree (build-bench), runs
+# the kernel microbenchmarks plus a timed fig04 sweep, and writes the
+# numbers to BENCH_kernel.json at the repo root. Run it before and
+# after touching the hot simulation loops (event queue, Clocked tick
+# path, stat counters, cache access path) and compare the two files.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_kernel.json}"
+jobs=$(nproc)
+
+echo "=== building benchmarks (Release) ==="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "$jobs" \
+      --target microbench_sim fig04_speedup >/dev/null
+
+echo "=== kernel microbenchmarks ==="
+micro_json=build-bench/microbench.json
+./build-bench/bench/microbench_sim \
+    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath|BM_LittleCoreSimSpeed|BM_BigCoreSimSpeed' \
+    --benchmark_min_time=0.5 \
+    --benchmark_out="$micro_json" --benchmark_out_format=json
+
+echo "=== fig04 wall clock (tiny scale, single-threaded) ==="
+fig04_start=$(date +%s.%N)
+BVL_SCALE=tiny BVL_JOBS=1 ./build-bench/bench/fig04_speedup \
+    > build-bench/fig04.out
+fig04_end=$(date +%s.%N)
+fig04_s=$(python3 -c "print(f'{$fig04_end - $fig04_start:.3f}')")
+echo "fig04_speedup: ${fig04_s}s"
+
+python3 - "$micro_json" "$out" "$fig04_s" <<'EOF'
+import json, os, subprocess, sys
+
+micro_path, out_path, fig04_s = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(micro_path) as f:
+    data = json.load(f)
+
+# A hand-recorded "baseline" block (numbers from an older revision)
+# survives regeneration so the comparison stays in the file.
+baseline = None
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            baseline = json.load(f).get("baseline")
+    except (OSError, ValueError):
+        pass
+
+bench = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    entry = {
+        "time_ns": round(b["real_time"], 3),
+        "cpu_ns": round(b["cpu_time"], 3),
+    }
+    for k in ("ticks/s", "simCycles/s", "runs/s"):
+        if k in b:
+            entry[k] = round(b[k], 1)
+    bench[b["name"]] = entry
+
+git_rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip()
+
+result = {
+    "revision": git_rev or "unknown",
+    "build_type": "Release",
+    "context": {k: data["context"][k]
+                for k in ("num_cpus", "mhz_per_cpu")
+                if k in data.get("context", {})},
+    "microbenchmarks": bench,
+    "fig04_tiny_j1_wall_s": float(fig04_s),
+}
+if baseline is not None:
+    result["baseline"] = baseline
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF

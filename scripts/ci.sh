@@ -19,6 +19,15 @@ BVL_SCALE=tiny BVL_JOBS=4 ./build/bench/fig04_speedup > build/fig04.j4
 cmp build/fig04.j1 build/fig04.j4
 echo "fig04_speedup output is byte-identical across thread counts"
 
+echo "=== kernel microbenchmark smoke (Release, short min_time) ==="
+# Not a performance gate — just proves the benchmarks still build and
+# run. scripts/bench.sh produces the real numbers (BENCH_kernel.json).
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "$jobs" --target microbench_sim >/dev/null
+./build-bench/bench/microbench_sim \
+    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat' \
+    --benchmark_min_time=0.01
+
 echo "=== sanitized build (ASan + UBSan) ==="
 cmake -B build-asan -S . -DBVL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"

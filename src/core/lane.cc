@@ -9,9 +9,14 @@ VectorLane::VectorLane(ClockDomain &cd, StatGroup &sg, LaneEnv &env,
                        unsigned lane_idx, std::string stat_prefix,
                        FuLatencies fu_params, unsigned uop_queue_depth)
     : clock(cd), stats(sg), env(env), lane(lane_idx),
-      prefix(std::move(stat_prefix)), fu(fu_params),
-      queueDepth(uop_queue_depth)
+      prefix(std::move(stat_prefix)),
+      sCycles(sg.handle(prefix + "cycles")),
+      sUops(sg.handle(prefix + "uops")),
+      fu(fu_params), queueDepth(uop_queue_depth)
 {
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        sStall[c] = sg.handle(prefix + "stall." +
+                              stallName(StallCause(c)));
     reset();
 }
 
@@ -29,7 +34,7 @@ VectorLane::reset()
 void
 VectorLane::recordStall(StallCause cause)
 {
-    stats.stat(prefix + "stall." + stallName(cause))++;
+    sStall[unsigned(cause)]++;
 }
 
 bool
@@ -83,7 +88,7 @@ void
 VectorLane::tick()
 {
     Tick now = clock.eventQueue().now();
-    stats.stat(prefix + "cycles")++;
+    sCycles++;
 
     if (uopQueue.empty()) {
         recordStall(env.vcuBlockedLockstep() ? StallCause::simd
@@ -188,7 +193,7 @@ VectorLane::tick()
 
     uopQueue.pop_front();
     ++numUops;
-    stats.stat(prefix + "uops")++;
+    sUops++;
     recordStall(StallCause::busy);
 }
 

@@ -83,6 +83,9 @@ class VectorLane
     LaneEnv &env;
     unsigned lane;
     std::string prefix;
+    /** Interned counters (DESIGN.md §11); sStall indexed by StallCause. */
+    StatHandle sCycles, sUops;
+    std::array<StatHandle, numStallCauses> sStall;
     FuLatencies fu;
     unsigned queueDepth;
 

@@ -40,7 +40,21 @@ vregIdx(RegId r)
 VlittleEngine::VlittleEngine(ClockDomain &cd, StatGroup &sg,
                              MemSystem &ms, VEngineParams params)
     : Clocked(cd, params.name), stats(sg), mem(ms), p(std::move(params)),
-      sp(p.name + ".")
+      sp(p.name + "."),
+      sModeSwitches(sg.handle(sp + "modeSwitches")),
+      sDispatched(sg.handle(sp + "dispatched")),
+      sVmiuCmds(sg.handle(sp + "vmiuCmds")),
+      sVcuStallsInjected(sg.handle(sp + "vcuStallsInjected")),
+      sUopsBroadcast(sg.handle(sp + "uopsBroadcast")),
+      sVmuRetries(sg.handle(sp + "vmuRetries")),
+      sVmuResponsesLost(sg.handle(sp + "vmuResponsesLost")),
+      sStoreLineReqs(sg.handle(sp + "storeLineReqs")),
+      sLoadLineReqs(sg.handle(sp + "loadLineReqs")),
+      sVmsuRawStalls(sg.handle(sp + "vmsuRawStalls")),
+      sVluDeliveries(sg.handle(sp + "vluDeliveries")),
+      sVsuLines(sg.handle(sp + "vsuLines")),
+      sCompleted(sg.handle(sp + "completed")),
+      sCycles(sg.handle(sp + "cycles"))
 {
     for (unsigned i = 0; i < p.numLanes; ++i) {
         lanes.push_back(std::make_unique<VectorLane>(
@@ -115,7 +129,7 @@ VlittleEngine::dispatch(const ExecTrace &trace,
                         clock().cyclesToTicks(p.switchPenalty);
         if (p.controlsL1Mode)
             mem.setVectorMode(true);
-        stats.stat(sp + "modeSwitches")++;
+        sModeSwitches++;
     }
 
     auto vi = std::make_shared<VInstr>();
@@ -128,7 +142,7 @@ VlittleEngine::dispatch(const ExecTrace &trace,
 
     cmdQueue.push_back(vi);
     inflight[vi->vseq] = vi;
-    stats.stat(sp + "dispatched")++;
+    sDispatched++;
     activate();
 }
 
@@ -351,7 +365,7 @@ VlittleEngine::vcuFrontTick()
         vmiuQueue.push_back(vi);
         vi->memCmdSent = true;
         vmiuNextElem[vi->vseq] = 0;
-        stats.stat(sp + "vmiuCmds")++;
+        sVmiuCmds++;
     }
 
     // Move the whole micro-op plan into the UopQ.
@@ -384,7 +398,7 @@ VlittleEngine::vcuBroadcastTick()
             busStalledUntil = std::max(
                 busStalledUntil,
                 beq.now() + clock().cyclesToTicks(stall));
-            stats.stat(sp + "vcuStallsInjected")++;
+            sVcuStallsInjected++;
         }
     }
     if (beq.now() < busStalledUntil) {
@@ -430,7 +444,7 @@ VlittleEngine::vcuBroadcastTick()
     }
 
     uopQueue.pop_front();
-    stats.stat(sp + "uopsBroadcast")++;
+    sUopsBroadcast++;
     bvl_assert(vi->broadcastRemaining > 0, "broadcast underflow");
     if (--vi->broadcastRemaining == 0)
         checkInstrDone(vi->vseq);
@@ -441,48 +455,49 @@ VlittleEngine::vcuBroadcastTick()
 // --------------------------------------------------------------------
 
 void
+VlittleEngine::deliverLine(unsigned vmsu_idx, SeqNum vseq,
+                           std::uint64_t reqSeq, bool isStore)
+{
+    if (isStore) {
+        --vmsus[vmsu_idx].storeSlotsUsed;
+        auto it = inflight.find(vseq);
+        if (it != inflight.end()) {
+            ++it->second->storeLinesDone;
+            checkInstrDone(vseq);
+        }
+    } else {
+        vluDataReady.insert(reqSeq);
+    }
+    activate();
+}
+
+void
 VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req,
                              unsigned attempt)
 {
     Addr addr = req.lineAddr << lineShift;
-    SeqNum vseq = req.vseq;
-    std::uint64_t reqSeq = req.reqSeq;
     bool isStore = req.isStore;
-
-    auto deliver = [this, vseq, reqSeq, vmsu_idx, isStore] {
-        if (isStore) {
-            --vmsus[vmsu_idx].storeSlotsUsed;
-            auto it = inflight.find(vseq);
-            if (it != inflight.end()) {
-                ++it->second->storeLinesDone;
-                checkInstrDone(vseq);
-            }
-        } else {
-            vluDataReady.insert(reqSeq);
-        }
-        activate();
-    };
 
     // Injected fault: the response is dropped on the way back to the
     // VMSU. Bounded retries re-issue the line request after a timeout;
     // once they are exhausted the queue slot is stuck forever and the
-    // progress watchdog reports the hang.
-    auto done = [this, vmsu_idx, req, attempt,
-                 deliver = std::move(deliver)] {
+    // progress watchdog reports the hang. The capture (LineReq + this
+    // + attempt) fits MemCallback's inline buffer.
+    auto done = [this, vmsu_idx, req, attempt] {
         if (injector && injector->dropVmuResponse()) {
             if (attempt < injector->vmuMaxRetries()) {
-                stats.stat(sp + "vmuRetries")++;
+                sVmuRetries++;
                 clock().scheduleCycles(
                     injector->vmuRetryDelay(),
                     [this, vmsu_idx, req, attempt] {
                         issueToMemory(vmsu_idx, req, attempt + 1);
                     });
             } else {
-                stats.stat(sp + "vmuResponsesLost")++;
+                sVmuResponsesLost++;
             }
             return;
         }
-        deliver();
+        deliverLine(vmsu_idx, req.vseq, req.reqSeq, req.isStore);
     };
 
     switch (p.memPath) {
@@ -579,7 +594,7 @@ VlittleEngine::vmiuTick()
         ++m.loadSlotsUsed;
         vluOrder.push_back(req);
     }
-    stats.stat(sp + (isStore ? "storeLineReqs" : "loadLineReqs"))++;
+    (isStore ? sStoreLineReqs : sLoadLineReqs)++;
 
     vmiuNextElem[vseq] = ne + count;
     if (ne + count == addrs.size()) {
@@ -618,7 +633,7 @@ VlittleEngine::vmsuTick(unsigned idx)
             olderStoreLines.insert(req.lineAddr);
         } else {
             if (olderStoreLines.count(req.lineAddr)) {
-                stats.stat(sp + "vmsuRawStalls")++;
+                sVmsuRawStalls++;
                 continue;   // RAW through memory: wait for the store
             }
             m.queue.erase(it);
@@ -668,7 +683,7 @@ VlittleEngine::vluTick()
     vluDataReady.erase(req.reqSeq);
     vluOrder.pop_front();
     vluHeadDelivered = 0;
-    stats.stat(sp + "vluDeliveries")++;
+    sVluDeliveries++;
 }
 
 // --------------------------------------------------------------------
@@ -687,7 +702,7 @@ VlittleEngine::vsuTick()
         return;   // lanes have not produced this line's elements yet
     vmsus[req.vmsu].storeDataReady.insert(req.reqSeq);
     vsuOrder.pop_front();
-    stats.stat(sp + "vsuLines")++;
+    sVsuLines++;
 }
 
 // --------------------------------------------------------------------
@@ -818,7 +833,7 @@ VlittleEngine::completeInstr(VInstr &vi)
     if (vi.completed)
         return;
     vi.completed = true;
-    stats.stat(sp + "completed")++;
+    sCompleted++;
 
     if (vxuVseq == vi.vseq) {
         vxuVseq = 0;
@@ -849,13 +864,13 @@ VlittleEngine::registerProgress(Watchdog &wd)
     // keeps ticking but advances none of these.
     wd.addSource(p.name,
                  [this] {
-                     return stats.value(sp + "dispatched") +
-                            stats.value(sp + "uopsBroadcast") +
-                            stats.value(sp + "completed") +
-                            stats.value(sp + "loadLineReqs") +
-                            stats.value(sp + "storeLineReqs") +
-                            stats.value(sp + "vluDeliveries") +
-                            stats.value(sp + "vsuLines");
+                     return sDispatched.value() +
+                            sUopsBroadcast.value() +
+                            sCompleted.value() +
+                            sLoadLineReqs.value() +
+                            sStoreLineReqs.value() +
+                            sVluDeliveries.value() +
+                            sVsuLines.value();
                  },
                  [this] { return inflightReport(); });
 }
@@ -912,7 +927,7 @@ VlittleEngine::tick()
 {
     if (idle())
         return false;
-    stats.stat(sp + "cycles")++;
+    sCycles++;
 
     vcuFrontTick();
     vcuBroadcastTick();

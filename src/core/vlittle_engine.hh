@@ -194,11 +194,18 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
     unsigned laneOfElem(unsigned elemIdx, unsigned sewBytes) const;
     void issueToMemory(unsigned vmsuIdx, const LineReq &req,
                        unsigned attempt = 0);
+    void deliverLine(unsigned vmsuIdx, SeqNum vseq, std::uint64_t reqSeq,
+                     bool isStore);
 
     StatGroup &stats;
     MemSystem &mem;
     VEngineParams p;
     std::string sp;   ///< engine stat prefix "<name>."
+    /** Interned counters (DESIGN.md §11). */
+    StatHandle sModeSwitches, sDispatched, sVmiuCmds, sVcuStallsInjected,
+               sUopsBroadcast, sVmuRetries, sVmuResponsesLost,
+               sStoreLineReqs, sLoadLineReqs, sVmsuRawStalls,
+               sVluDeliveries, sVsuLines, sCompleted, sCycles;
     FaultInjector *injector = nullptr;
     /** Injected VCU command-bus stall: no broadcast until this tick. */
     Tick busStalledUntil = 0;

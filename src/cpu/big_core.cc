@@ -33,7 +33,13 @@ BigCore::BigCore(ClockDomain &cd, StatGroup &sg, MemSystem &ms,
                  BackingStore &bs, unsigned vlen_bits,
                  BigCoreParams params)
     : Clocked(cd, "big"), stats(sg), mem(ms), backing(bs),
-      p(params), arch(vlen_bits), bpred(params.bpredIndexBits),
+      p(params),
+      sFetched(sg.handle(prefix + "fetched")),
+      sRetired(sg.handle(prefix + "retired")),
+      sCycles(sg.handle(prefix + "cycles")),
+      sMispredicts(sg.handle(prefix + "mispredicts")),
+      sVecDispatched(sg.handle(prefix + "vecDispatched")),
+      arch(vlen_bits), bpred(params.bpredIndexBits),
       fetchBuf(ms, ms.bigCoreId(), sg, prefix)
 {
     lastWriter.fill(nullptr);
@@ -87,12 +93,12 @@ BigCore::fetchStage()
             return;
 
         Addr instAddr = prog->instAddr(arch.pc);
-        if (!fetchBuf.lineReady(instAddr, [this] { activate(); }))
+        if (!fetchBuf.lineReady(instAddr, this))
             return;
 
         std::uint64_t fetchPc = arch.pc;
         ExecTrace tr = stepOne(arch, *prog, backing);
-        stats.stat(prefix + "fetched")++;
+        sFetched++;
 
         auto owned = std::make_unique<RobInst>();
         RobInst *inst = owned.get();
@@ -144,7 +150,7 @@ BigCore::fetchStage()
             if (predicted != inst->trace.taken) {
                 inst->predictedWrong = true;
                 blockingBranch = inst;
-                stats.stat(prefix + "mispredicts")++;
+                sMispredicts++;
             }
         }
 
@@ -302,7 +308,7 @@ BigCore::vecDispatchStage()
 
         inst->vecDispatched = true;
         ++vecOutstanding;
-        stats.stat(prefix + "vecDispatched")++;
+        sVecDispatched++;
         if (in.traits().writesScalar) {
             vengine->dispatch(inst->trace, [this, inst] {
                 --vecOutstanding;
@@ -351,7 +357,7 @@ BigCore::commitStage()
         }
         rob.pop_front();
         ++numRetired;
-        stats.stat(prefix + "retired")++;
+        sRetired++;
     }
 }
 
@@ -412,7 +418,7 @@ BigCore::tick()
     if (!running)
         return false;
     ++numCycles;
-    stats.stat(prefix + "cycles")++;
+    sCycles++;
     vecDispatchStage();
     commitStage();
     issueStage();

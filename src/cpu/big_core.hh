@@ -118,6 +118,8 @@ class BigCore : public Clocked
     BackingStore &backing;
     BigCoreParams p;
     std::string prefix = "big.";
+    /** Interned counters (DESIGN.md §11). */
+    StatHandle sFetched, sRetired, sCycles, sMispredicts, sVecDispatched;
 
     ProgramPtr prog;
     ArchState arch;

@@ -13,10 +13,10 @@
 #define BVL_CPU_FETCH_BUFFER_HH
 
 #include <deque>
-#include <functional>
 #include <unordered_set>
 
 #include "mem/mem_system.hh"
+#include "sim/clock_domain.hh"
 #include "sim/stats.hh"
 
 namespace bvl
@@ -29,17 +29,22 @@ class FetchBuffer
                 std::string statPrefix, unsigned capacity = 8,
                 unsigned prefetchDepth = 3)
         : mem(mem), coreId(coreId), stats(stats),
-          prefix(std::move(statPrefix)), capacity(capacity),
-          prefetchDepth(prefetchDepth)
+          prefix(std::move(statPrefix)),
+          sLineReqs(stats.handle(prefix + "fetchLineReqs")),
+          sPrefetches(stats.handle(prefix + "fetchPrefetches")),
+          capacity(capacity), prefetchDepth(prefetchDepth)
     {}
 
     /**
      * True if the line containing @p addr is in the buffer. If not,
      * issues a demand fetch (plus a next-line prefetch) and arranges
-     * for @p wakeup when the demand line arrives.
+     * for @p waker (when non-null) to be re-activated when the demand
+     * line arrives. A Clocked pointer rather than a callable: both
+     * cores wake the same way, and the completion closure stays a
+     * fixed 24-byte capture.
      */
     bool
-    lineReady(Addr addr, const std::function<void()> &wakeup)
+    lineReady(Addr addr, Clocked *waker)
     {
         Addr line = lineOf(addr);
         if (ready.count(line)) {
@@ -48,8 +53,8 @@ class FetchBuffer
             return true;
         }
         if (!pending.count(line)) {
-            stats.stat(prefix + "fetchLineReqs")++;
-            request(line, wakeup);
+            sLineReqs++;
+            request(line, waker);
             for (unsigned d = 1; d <= prefetchDepth; ++d)
                 prefetch(line + d);
         }
@@ -72,20 +77,19 @@ class FetchBuffer
     {
         if (ready.count(line) || pending.count(line))
             return;
-        stats.stat(prefix + "fetchPrefetches")++;
+        sPrefetches++;
         request(line, nullptr);
     }
 
     void
-    request(Addr line, std::function<void()> wakeup)
+    request(Addr line, Clocked *waker)
     {
         pending.insert(line);
-        mem.fetchInst(coreId, line << lineShift,
-                      [this, line, wakeup = std::move(wakeup)] {
+        mem.fetchInst(coreId, line << lineShift, [this, line, waker] {
             pending.erase(line);
             insertReady(line);
-            if (wakeup)
-                wakeup();
+            if (waker)
+                waker->activate();
         });
     }
 
@@ -104,6 +108,7 @@ class FetchBuffer
     unsigned coreId;
     StatGroup &stats;
     std::string prefix;
+    StatHandle sLineReqs, sPrefetches;
     unsigned capacity;
     unsigned prefetchDepth;
 

@@ -87,6 +87,9 @@ enum class StallCause : std::uint8_t
     misc,     ///< no work available (fetch stall, empty uop queue, ...)
 };
 
+/** Number of StallCause values (size of per-cause stat-handle arrays). */
+constexpr unsigned numStallCauses = 7;
+
 inline const char *
 stallName(StallCause c)
 {

@@ -11,9 +11,15 @@ LittleCore::LittleCore(ClockDomain &cd, StatGroup &sg, MemSystem &ms,
     : Clocked(cd, "little" + std::to_string(core_id)),
       stats(sg), mem(ms), backing(bs), id(core_id), p(params),
       prefix("little" + std::to_string(core_id) + "."),
+      sFetched(sg.handle(prefix + "fetched")),
+      sRetired(sg.handle(prefix + "retired")),
+      sCycles(sg.handle(prefix + "cycles")),
       arch(vlen_bits),
       fetchBuf(ms, core_id, sg, prefix)
 {
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        sStall[c] = sg.handle(prefix + "stall." +
+                              stallName(StallCause(c)));
     regReadyAt.fill(0);
     regProducer.fill(ProducerKind::none);
     fuBusyUntil.fill(0);
@@ -52,7 +58,7 @@ LittleCore::runProgram(ProgramPtr program,
 void
 LittleCore::recordStall(StallCause cause)
 {
-    stats.stat(prefix + "stall." + stallName(cause))++;
+    sStall[unsigned(cause)]++;
 }
 
 void
@@ -67,13 +73,13 @@ LittleCore::fetchStage()
         return;
 
     Addr instAddr = prog->instAddr(arch.pc);
-    if (!fetchBuf.lineReady(instAddr, [this] { activate(); }))
+    if (!fetchBuf.lineReady(instAddr, this))
         return;
 
     // Functional-first execution at fetch (oracle EX).
     ExecTrace tr = stepOne(arch, *prog, backing);
     fetchQueue.push_back(PendingInst{std::move(tr)});
-    stats.stat(prefix + "fetched")++;
+    sFetched++;
 
     const ExecTrace &t = fetchQueue.back().trace;
     if (t.inst->op == Op::halt)
@@ -166,7 +172,7 @@ LittleCore::issueStage()
 
     fetchQueue.pop_front();
     ++numRetired;
-    stats.stat(prefix + "retired")++;
+    sRetired++;
     recordStall(StallCause::busy);
     return true;
 }
@@ -194,7 +200,7 @@ LittleCore::tick()
     if (!running)
         return false;
     ++numCycles;
-    stats.stat(prefix + "cycles")++;
+    sCycles++;
     fetchStage();
     if (!haltIssued)
         issueStage();

@@ -93,6 +93,10 @@ class LittleCore : public Clocked
     unsigned id;
     LittleCoreParams p;
     std::string prefix;
+    /** Interned counters (DESIGN.md §11); sStall is indexed by
+     *  StallCause so recordStall() is a single pointer add. */
+    StatHandle sFetched, sRetired, sCycles;
+    std::array<StatHandle, numStallCauses> sStall;
 
     ProgramPtr prog;
     ArchState arch;

@@ -11,7 +11,15 @@ namespace bvl
 Cache::Cache(ClockDomain &cd, StatGroup &sg, CacheParams params,
              MemLevel *next_level, int l1_id)
     : clock(cd), stats(sg), p(std::move(params)), next(next_level),
-      l1Id(l1_id)
+      l1Id(l1_id),
+      sAccesses(sg.handle(p.name + ".accesses")),
+      sHits(sg.handle(p.name + ".hits")),
+      sMisses(sg.handle(p.name + ".misses")),
+      sFills(sg.handle(p.name + ".fills")),
+      sEvictions(sg.handle(p.name + ".evictions")),
+      sWritebacks(sg.handle(p.name + ".writebacks")),
+      sInvalidations(sg.handle(p.name + ".invalidations")),
+      sMshrFull(sg.handle(p.name + ".mshrFull"))
 {
     bvl_assert(p.sizeBytes % (p.assoc * lineBytes) == 0,
                "%s: size not divisible by assoc*line", p.name.c_str());
@@ -66,7 +74,7 @@ Cache::invalidate(Addr lineAddr)
         way->dirty = false;
     }
     lineMap.erase(it);
-    stats.stat(p.name + ".invalidations")++;
+    sInvalidations++;
 }
 
 void
@@ -75,10 +83,7 @@ Cache::registerProgress(Watchdog &wd)
     // Hits and fills together advance on every serviced access; the
     // MSHR table is the in-flight request state worth dumping.
     wd.addSource(p.name,
-                 [this] {
-                     return stats.value(p.name + ".hits") +
-                            stats.value(p.name + ".fills");
-                 },
+                 [this] { return sHits.value() + sFills.value(); },
                  [this] { return mshrReport(); });
 }
 
@@ -115,19 +120,19 @@ Cache::access(Addr addr, bool isWrite, MemCallback done)
     portNextFree = start + clock.periodPs() / p.portsPerCycle;
 
     Tick tagDone = start + clock.cyclesToTicks(p.hitLatency);
-    stats.stat(p.name + ".accesses")++;
+    sAccesses++;
 
     unsigned set = setIndex(lineNum);
     if (Way *way = findWay(lineNum, set)) {
         way->lastUse = eq.now();
         way->dirty |= isWrite;
-        stats.stat(p.name + ".hits")++;
+        sHits++;
         if (done)
             eq.scheduleAt(tagDone, std::move(done));
         return;
     }
 
-    stats.stat(p.name + ".misses")++;
+    sMisses++;
     handleMiss(lineNum, isWrite, std::move(done), tagDone);
 }
 
@@ -147,7 +152,7 @@ Cache::handleMiss(Addr lineNum, bool isWrite, MemCallback done,
     }
 
     if (mshrs.size() >= p.numMshrs) {
-        stats.stat(p.name + ".mshrFull")++;
+        sMshrFull++;
         pendingQueue.emplace_back(lineNum, isWrite, std::move(done));
         return;
     }
@@ -213,11 +218,11 @@ Cache::fill(Addr lineNum, bool isWrite)
     bvl_assert(victim, "%s: no victim way", p.name.c_str());
 
     if (victim->valid) {
-        stats.stat(p.name + ".evictions")++;
+        sEvictions++;
         lineMap.erase(victim->line);
         next->evicted(l1Id, victim->line << lineShift);
         if (victim->dirty) {
-            stats.stat(p.name + ".writebacks")++;
+            sWritebacks++;
             next->request(l1Id, victim->line << lineShift, true,
                           MemCallback());
         }
@@ -228,7 +233,7 @@ Cache::fill(Addr lineNum, bool isWrite)
     victim->dirty = isWrite;
     victim->lastUse = clock.eventQueue().now();
     lineMap[lineNum] = set;
-    stats.stat(p.name + ".fills")++;
+    sFills++;
 }
 
 void

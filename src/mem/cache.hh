@@ -108,8 +108,8 @@ class Cache
     double
     missRate() const
     {
-        auto a = stats.value(p.name + ".accesses");
-        return a == 0 ? 0.0 : double(stats.value(p.name + ".misses")) / a;
+        auto a = sAccesses.value();
+        return a == 0 ? 0.0 : double(sMisses.value()) / a;
     }
 
   private:
@@ -141,6 +141,11 @@ class Cache
     MemLevel *next;
     int l1Id;
     FaultInjector *injector = nullptr;
+
+    /** Counters interned once at construction (DESIGN.md §11): the
+     *  per-access path increments through these, never by name. */
+    StatHandle sAccesses, sHits, sMisses, sFills, sEvictions,
+               sWritebacks, sInvalidations, sMshrFull;
 
     unsigned numSets;
     IndexMode indexMode = IndexMode::scalarPrivate;

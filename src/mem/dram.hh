@@ -31,7 +31,9 @@ class Dram : public MemLevel
 {
   public:
     Dram(ClockDomain &cd, StatGroup &sg, DramParams params)
-        : clock(cd), stats(sg), p(std::move(params))
+        : clock(cd), stats(sg), p(std::move(params)),
+          sReads(sg.handle(p.name + ".reads")),
+          sWrites(sg.handle(p.name + ".writes"))
     {
         latencyTicks = static_cast<Tick>(p.latencyNs * ticksPerNs);
         // Ticks to transfer one line at the channel bandwidth.
@@ -46,7 +48,7 @@ class Dram : public MemLevel
         auto &eq = clock.eventQueue();
         Tick start = std::max(eq.now(), channelNextFree);
         channelNextFree = start + lineTicks;
-        stats.stat(p.name + (isWrite ? ".writes" : ".reads"))++;
+        (isWrite ? sWrites : sReads)++;
         // Injected transient: response latency stretched as if a
         // refresh or rank conflict got in the way.
         Tick extra = injector
@@ -63,16 +65,15 @@ class Dram : public MemLevel
     void
     registerProgress(Watchdog &wd)
     {
-        wd.addSource(p.name, [this] {
-            return stats.value(p.name + ".reads") +
-                   stats.value(p.name + ".writes");
-        });
+        wd.addSource(p.name,
+                     [this] { return sReads.value() + sWrites.value(); });
     }
 
   private:
     ClockDomain &clock;
     StatGroup &stats;
     DramParams p;
+    StatHandle sReads, sWrites;
     FaultInjector *injector = nullptr;
     Tick latencyTicks;
     Tick lineTicks;

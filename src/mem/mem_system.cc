@@ -5,7 +5,9 @@ namespace bvl
 
 MemSystem::MemSystem(ClockDomain &uncore, StatGroup &sg,
                      MemSystemParams params)
-    : stats(sg), p(std::move(params))
+    : stats(sg), p(std::move(params)),
+      sIfetchReqs(sg.handle("sys.ifetchReqs")),
+      sDataReqs(sg.handle("sys.dataReqs"))
 {
     bankMap.numBanks = p.numLittle;
 
@@ -67,7 +69,7 @@ MemSystem::registerProgress(Watchdog &wd)
 void
 MemSystem::fetchInst(unsigned coreId, Addr addr, MemCallback done)
 {
-    stats.stat("sys.ifetchReqs")++;
+    sIfetchReqs++;
     if (coreId == bigCoreId())
         bigL1Ic->access(addr, false, std::move(done));
     else
@@ -78,7 +80,7 @@ void
 MemSystem::accessData(unsigned coreId, Addr addr, bool isWrite,
                       MemCallback done)
 {
-    stats.stat("sys.dataReqs")++;
+    sDataReqs++;
     if (coreId == bigCoreId())
         bigL1Dc->access(addr, isWrite, std::move(done));
     else
@@ -90,14 +92,14 @@ MemSystem::accessBank(unsigned bank, Addr addr, bool isWrite,
                       MemCallback done)
 {
     bvl_assert(bank < p.numLittle, "bad bank %u", bank);
-    stats.stat("sys.dataReqs")++;
+    sDataReqs++;
     littleL1Ds[bank]->access(addr, isWrite, std::move(done));
 }
 
 void
 MemSystem::accessL2(Addr addr, bool isWrite, MemCallback done)
 {
-    stats.stat("sys.dataReqs")++;
+    sDataReqs++;
     l2front->request(-1, lineAlign(addr), isWrite, std::move(done));
 }
 

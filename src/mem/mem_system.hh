@@ -56,6 +56,7 @@ class L2Front : public MemLevel
     L2Front(ClockDomain &cd, StatGroup &sg, const CacheParams &l2p,
             Cycles inval_penalty, MemLevel *dram)
         : clock(cd), stats(sg), invalPenalty(inval_penalty),
+          sDirInvalidates(sg.handle("l2.dir.invalidates")),
           cache(cd, sg, l2p, dram)
     {}
 
@@ -85,7 +86,7 @@ class L2Front : public MemLevel
                             l1ds[i]->invalidate(lineAddr);
                     it->second &= ~others;
                     extra = invalPenalty;
-                    stats.stat("l2.dir.invalidates")++;
+                    sDirInvalidates++;
                 }
             }
         }
@@ -132,6 +133,7 @@ class L2Front : public MemLevel
     ClockDomain &clock;
     StatGroup &stats;
     Cycles invalPenalty;
+    StatHandle sDirInvalidates;
     Cache cache;
     std::vector<Cache *> l1ds;
     std::unordered_map<Addr, std::uint32_t> sharers;
@@ -188,6 +190,7 @@ class MemSystem
   private:
     StatGroup &stats;
     MemSystemParams p;
+    StatHandle sIfetchReqs, sDataReqs;
     BankMap bankMap;
 
     std::unique_ptr<Dram> dram;

@@ -10,15 +10,19 @@
 #ifndef BVL_MEM_MEM_TYPES_HH
 #define BVL_MEM_MEM_TYPES_HH
 
-#include <functional>
-
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace bvl
 {
 
-/** Invoked when a memory transaction completes. */
-using MemCallback = std::function<void()>;
+/**
+ * Invoked when a memory transaction completes. A SmallFn rather than a
+ * std::function: the dominant capture shapes ([this], [this, lineNum],
+ * [this, rd, gen]) fit its inline buffer, so completion callbacks move
+ * through the memory hierarchy without heap traffic.
+ */
+using MemCallback = SmallFn;
 
 /** Cache line size used throughout the simulated systems. */
 constexpr unsigned lineBytes = 64;

@@ -6,7 +6,11 @@ namespace bvl
 {
 
 WsRuntime::WsRuntime(Soc &soc, RuntimeParams params)
-    : soc(soc), p(params), rng(params.seed)
+    : soc(soc), p(params), rng(params.seed),
+      sPhases(soc.stats.handle("runtime.phases")),
+      sSteals(soc.stats.handle("runtime.steals")),
+      sPops(soc.stats.handle("runtime.pops")),
+      sOverheadCycles(soc.stats.handle("runtime.overheadCycles"))
 {}
 
 ClockDomain &
@@ -20,9 +24,8 @@ WsRuntime::registerProgress(Watchdog &wd)
 {
     wd.addSource("runtime",
                  [this] {
-                     return soc.stats.value("runtime.pops") +
-                            soc.stats.value("runtime.steals") +
-                            soc.stats.value("runtime.phases");
+                     return sPops.value() + sSteals.value() +
+                            sPhases.value();
                  },
                  [this] { return progressDetail(); });
 }
@@ -80,7 +83,7 @@ WsRuntime::startPhase()
 {
     if (phaseIdx >= graph.phases.size()) {
         running = false;
-        soc.stats.stat("runtime.phases") += phaseIdx;
+        sPhases += phaseIdx;
         if (onDone) {
             auto done = std::move(onDone);
             onDone = nullptr;
@@ -122,7 +125,7 @@ WsRuntime::trySteal(unsigned thief, unsigned &attempts)
         if (!vd.empty()) {
             const Task *task = vd.back();   // steal from the cold end
             vd.pop_back();
-            soc.stats.stat("runtime.steals")++;
+            sSteals++;
             return task;
         }
     }
@@ -140,8 +143,8 @@ WsRuntime::schedule(unsigned w)
         worker.deque.pop_front();
         worker.idle = false;
         ClockDomain &clk = workerClock(worker);
-        soc.stats.stat("runtime.pops")++;
-        soc.stats.stat("runtime.overheadCycles") += p.popCost;
+        sPops++;
+        sOverheadCycles += p.popCost;
         clk.scheduleCycles(p.popCost, [this, w, task] {
             runTask(w, task);
         });
@@ -154,8 +157,7 @@ WsRuntime::schedule(unsigned w)
     if (stolen) {
         worker.idle = false;
         ClockDomain &clk = workerClock(worker);
-        soc.stats.stat("runtime.overheadCycles") +=
-            p.stealCost * attempts;
+        sOverheadCycles += p.stealCost * attempts;
         clk.scheduleCycles(p.stealCost * attempts, [this, w, stolen] {
             runTask(w, stolen);
         });

@@ -78,6 +78,8 @@ class WsRuntime
     Soc &soc;
     RuntimeParams p;
     Rng rng;
+    /** Interned counters (DESIGN.md §11). */
+    StatHandle sPhases, sSteals, sPops, sOverheadCycles;
 
     TaskGraph graph;   ///< owned copy; tasks point into this
     std::function<void()> onDone;

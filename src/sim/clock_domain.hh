@@ -71,6 +71,10 @@ class ClockDomain
     void scheduleCycles(Cycles n, EventFn fn)
     { queue.schedule(cyclesToTicks(n), std::move(fn)); }
 
+    /** Arm an intrusive event a whole number of cycles from now. */
+    void scheduleCycles(Event &ev, Cycles n)
+    { queue.schedule(ev, cyclesToTicks(n)); }
+
     EventQueue &eventQueue() { return queue; }
 
   private:
@@ -85,15 +89,21 @@ class ClockDomain
  * domain while active. Components call activate() when they have work
  * and go dormant by returning false from tick(); memory callbacks etc.
  * re-activate them.
+ *
+ * Each Clocked owns one intrusive TickEvent that activate() re-arms,
+ * so the steady-state tick loop never allocates: no closure is built
+ * per cycle and the heap only shuffles 24-byte entries.
  */
 class Clocked
 {
   public:
     Clocked(ClockDomain &cd, std::string name)
-        : _clock(cd), _name(std::move(name))
+        : _clock(cd), _name(std::move(name)), tickEvent(*this)
     {}
 
-    virtual ~Clocked() = default;
+    /** Components are destroyed before their EventQueue, so disarm
+     *  the tick event rather than leave a dangling heap entry. */
+    virtual ~Clocked() { deactivate(); }
 
     ClockDomain &clock() { return _clock; }
     const ClockDomain &clock() const { return _clock; }
@@ -106,20 +116,23 @@ class Clocked
     void
     activate()
     {
-        if (tickPending)
+        if (tickEvent.scheduled())
             return;
-        tickPending = true;
         // Align to the next clock edge so multi-domain systems stay
         // phase-consistent.
-        _clock.eventQueue().schedule(_clock.ticksToNextEdge(), [this] {
-            tickPending = false;
-            if (tick())
-                activate();
-        });
+        _clock.eventQueue().schedule(tickEvent, _clock.ticksToNextEdge());
+    }
+
+    /** Cancel a pending tick event, going dormant immediately. */
+    void
+    deactivate()
+    {
+        if (tickEvent.scheduled())
+            _clock.eventQueue().deschedule(tickEvent);
     }
 
     /** True if a tick event is currently scheduled. */
-    bool active() const { return tickPending; }
+    bool active() const { return tickEvent.scheduled(); }
 
   protected:
     /**
@@ -129,9 +142,26 @@ class Clocked
     virtual bool tick() = 0;
 
   private:
+    /** The component's single pre-allocated tick event. The queue
+     *  disarms it before process(), so re-arming via activate()
+     *  consumes exactly one FIFO sequence number per cycle — the same
+     *  schedule points as the old per-cycle closure, preserving
+     *  deterministic same-tick ordering bit-for-bit. */
+    struct TickEvent final : Event
+    {
+        explicit TickEvent(Clocked &c) : owner(c) {}
+        void
+        process() override
+        {
+            if (owner.tick())
+                owner.activate();
+        }
+        Clocked &owner;
+    };
+
     ClockDomain &_clock;
     std::string _name;
-    bool tickPending = false;
+    TickEvent tickEvent;
 };
 
 } // namespace bvl

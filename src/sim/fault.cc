@@ -18,7 +18,22 @@ faultKindName(FaultKind kind)
 FaultInjector::FaultInjector(FaultSpec spec, StatGroup &sg)
     : spec_(std::move(spec)), rng(spec_.seed), stats(sg),
       fired(spec_.script.size(), false)
-{}
+{
+}
+
+void
+FaultInjector::countFault(FaultKind kind, bool scripted)
+{
+    auto &handle = (scripted ? sKindScripted : sKind)[unsigned(kind)];
+    if (!handle) {
+        std::string name =
+            std::string("faults.") + faultKindName(kind);
+        if (scripted)
+            name += ".scripted";
+        handle = stats.handle(name);
+    }
+    handle++;
+}
 
 bool
 FaultInjector::roll(double prob)
@@ -41,8 +56,7 @@ FaultInjector::takeScripted(FaultKind kind, Tick now)
             continue;
         fired[i] = true;
         total += f.cycles;
-        stats.stat(std::string("faults.") + faultKindName(kind) +
-                   ".scripted")++;
+        countFault(kind, true);
     }
     return total;
 }
@@ -55,7 +69,7 @@ FaultInjector::memResponseDelay(Tick now)
     Cycles extra = takeScripted(FaultKind::memDelay, now);
     if (roll(spec_.memDelayProb)) {
         extra += spec_.memDelayCycles;
-        stats.stat("faults.memDelay")++;
+        countFault(FaultKind::memDelay, false);
     }
     return extra;
 }
@@ -68,7 +82,7 @@ FaultInjector::cacheResponseDelay(Tick now)
     Cycles extra = takeScripted(FaultKind::cacheDelay, now);
     if (roll(spec_.cacheDelayProb)) {
         extra += spec_.cacheDelayCycles;
-        stats.stat("faults.cacheDelay")++;
+        countFault(FaultKind::cacheDelay, false);
     }
     return extra;
 }
@@ -81,7 +95,7 @@ FaultInjector::vcuStall(Tick now)
     Cycles extra = takeScripted(FaultKind::vcuStall, now);
     if (roll(spec_.vcuStallProb)) {
         extra += spec_.vcuStallCycles;
-        stats.stat("faults.vcuStall")++;
+        countFault(FaultKind::vcuStall, false);
     }
     return extra;
 }
@@ -91,7 +105,7 @@ FaultInjector::dropVmuResponse()
 {
     if (!spec_.enabled || !roll(spec_.vmuDropProb))
         return false;
-    stats.stat("faults.vmuDrop")++;
+    countFault(FaultKind::vmuDrop, false);
     return true;
 }
 

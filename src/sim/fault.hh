@@ -28,6 +28,7 @@
 #ifndef BVL_SIM_FAULT_HH
 #define BVL_SIM_FAULT_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,6 +47,8 @@ enum class FaultKind
     vcuStall,   ///< freeze the VCU broadcast bus
     vmuDrop,    ///< drop a VMU load/store memory response
 };
+
+constexpr unsigned numFaultKinds = 4;
 
 const char *faultKindName(FaultKind kind);
 
@@ -113,10 +116,18 @@ class FaultInjector
     /** Sum of not-yet-fired scripted faults of @p kind due by @p now. */
     Cycles takeScripted(FaultKind kind, Tick now);
     bool roll(double prob);
+    void countFault(FaultKind kind, bool scripted);
 
     FaultSpec spec_;
     Rng rng;
     StatGroup &stats;
+    /** Per-kind injection counters ("faults.<kind>" and
+     *  "faults.<kind>.scripted", indexed by FaultKind). Interned
+     *  lazily on the first fire of each kind: fault fires are rare
+     *  events, not steady-state work, and a quiet plan must leave the
+     *  stat map exactly as a run without any injector would. */
+    std::array<StatHandle, numFaultKinds> sKind;
+    std::array<StatHandle, numFaultKinds> sKindScripted;
     std::vector<bool> fired;
 };
 

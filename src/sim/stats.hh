@@ -7,6 +7,13 @@
  * ("little0.stall.raw_mem"). Keeping stats in a registry (rather than
  * ad-hoc struct members) lets the benchmark harness extract exactly the
  * series each paper figure plots.
+ *
+ * Hot paths never touch the registry: a component interns each counter
+ * once at construction via StatGroup::handle() and increments through
+ * the returned StatHandle — a bare pointer, so the per-event cost is a
+ * single add with no string building or map walk. Handles stay valid
+ * for the StatGroup's lifetime because the registry is a node-based
+ * std::map whose element addresses are stable.
  */
 
 #ifndef BVL_SIM_STATS_HH
@@ -39,6 +46,31 @@ class Stat
     std::uint64_t _value = 0;
 };
 
+/**
+ * An interned reference to one Stat. Copyable and cheap to pass by
+ * value; increments forward straight to the underlying counter, so
+ * reporting by dotted name sees every update immediately.
+ */
+class StatHandle
+{
+  public:
+    StatHandle() = default;
+
+    StatHandle &operator+=(std::uint64_t n) { *s += n; return *this; }
+    StatHandle &operator++() { ++*s; return *this; }
+    void operator++(int) { ++*s; }
+
+    std::uint64_t value() const { return s->value(); }
+
+    /** True once bound to a registry entry. */
+    explicit operator bool() const { return s != nullptr; }
+
+  private:
+    friend class StatGroup;
+    explicit StatHandle(Stat &stat) : s(&stat) {}
+    Stat *s = nullptr;
+};
+
 /** A flat registry of stats keyed by hierarchical dotted names. */
 class StatGroup
 {
@@ -49,6 +81,14 @@ class StatGroup
     {
         return stats[name];
     }
+
+    /**
+     * Intern a stat once (creating it at zero if new) and return a
+     * handle for allocation-free increments. Valid for the group's
+     * lifetime; call at construction time, not in hot loops.
+     */
+    StatHandle handle(const std::string &name)
+    { return StatHandle(stats[name]); }
 
     /** Look up a stat; 0 if it was never created. */
     std::uint64_t

@@ -52,12 +52,23 @@ TEST(BpredTest, ResetForgets)
     EXPECT_FALSE(bp.predict(0x40));   // counters back to weakly-NT
 }
 
+/** Clocked stub that records whether its tick ever fired. */
+class WakeProbe : public Clocked
+{
+  public:
+    using Clocked::Clocked;
+    bool woke = false;
+
+  protected:
+    bool tick() override { woke = true; return false; }
+};
+
 class FetchBufTest : public ::testing::Test
 {
   protected:
     FetchBufTest()
         : uncore(eq, "u", 1.0), sys(uncore, stats),
-          buf(sys, 0, stats, "t.", 8, 3)
+          buf(sys, 0, stats, "t.", 8, 3), probe(uncore, "probe")
     {}
 
     EventQueue eq;
@@ -65,14 +76,14 @@ class FetchBufTest : public ::testing::Test
     StatGroup stats;
     MemSystem sys;
     FetchBuffer buf;
+    WakeProbe probe;
 };
 
 TEST_F(FetchBufTest, DemandLineBecomesReady)
 {
-    bool woke = false;
-    EXPECT_FALSE(buf.lineReady(0x1000, [&] { woke = true; }));
+    EXPECT_FALSE(buf.lineReady(0x1000, &probe));
     eq.run();
-    EXPECT_TRUE(woke);
+    EXPECT_TRUE(probe.woke);
     EXPECT_TRUE(buf.lineReady(0x1000, nullptr));
     EXPECT_TRUE(buf.lineReady(0x103f, nullptr));   // same line
 }

@@ -108,6 +108,62 @@ TEST(EventQueueTest, SameTickEventsFireInFifoOrder)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
+/** Intrusive event that appends a tag to a shared order vector. */
+class TagEvent : public Event
+{
+  public:
+    TagEvent(std::vector<int> &order, int tag) : order(order), tag(tag) {}
+    void process() override { order.push_back(tag); }
+
+  private:
+    std::vector<int> &order;
+    int tag;
+};
+
+TEST(EventQueueTest, IntrusiveAndClosureEventsShareFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    TagEvent a(order, 1), b(order, 3), c(order, 5);
+    // Alternate intrusive and closure scheduling at one tick: both
+    // kinds draw sequence numbers from the same counter, so the fire
+    // order is exactly the schedule order regardless of kind.
+    eq.scheduleAt(a, 40);
+    eq.scheduleAt(40, [&] { order.push_back(2); });
+    eq.scheduleAt(b, 40);
+    eq.scheduleAt(40, [&] { order.push_back(4); });
+    eq.scheduleAt(c, 40);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueueTest, DescheduleAndRescheduleIntrusiveEvent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    TagEvent ev(order, 7);
+
+    eq.scheduleAt(ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(eq.size(), 1u);
+
+    // Descheduling leaves a stale heap entry behind; the queue must
+    // neither fire it nor count it.
+    eq.deschedule(ev);
+    EXPECT_FALSE(ev.scheduled());
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+
+    // Rescheduling to a different tick fires exactly once, there.
+    eq.reschedule(ev, 25);
+    EXPECT_TRUE(ev.scheduled());
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{7}));
+    EXPECT_EQ(eq.now(), 25u);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
 TEST(ClockDomainTest, CycleTickConversions)
 {
     EventQueue eq;
@@ -169,6 +225,67 @@ TEST(ClockedTest, RedundantActivateIsSafe)
     eq.run();
     EXPECT_EQ(c.ticks, 0);   // tick() returning false went dormant
     EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(ClockedTest, DeactivateCancelsPendingTickAndReactivateRearms)
+{
+    struct Counter : Clocked
+    {
+        using Clocked::Clocked;
+        int ticks = 0;
+        bool tick() override { ++ticks; return false; }
+    };
+    EventQueue eq;
+    ClockDomain cd(eq, "c", 1.0);
+    Counter c(cd, "counter");
+
+    // Cancel an armed tick before it fires: nothing runs.
+    c.activate();
+    EXPECT_TRUE(c.active());
+    c.deactivate();
+    EXPECT_FALSE(c.active());
+    eq.run();
+    EXPECT_EQ(c.ticks, 0);
+
+    // Deactivate + reactivate within the same tick re-arms cleanly:
+    // the tick fires exactly once at the next clock edge.
+    c.activate();
+    c.deactivate();
+    c.activate();
+    eq.run();
+    EXPECT_EQ(c.ticks, 1);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(StatsTest, HandleAliasesNamedStat)
+{
+    StatGroup g;
+    StatHandle h = g.handle("core.retired");
+    EXPECT_TRUE(bool(h));
+    EXPECT_EQ(h.value(), 0u);
+
+    // Handle increments are visible through every name-keyed reader...
+    h++;
+    ++h;
+    h += 3;
+    EXPECT_EQ(g.value("core.retired"), 5u);
+    EXPECT_EQ(g.sumWithPrefix("core."), 5u);
+
+    // ...and name-keyed writes are visible through the handle.
+    g.stat("core.retired") += 2;
+    EXPECT_EQ(h.value(), 7u);
+
+    // A second handle for the same name aliases the same counter.
+    StatHandle h2 = g.handle("core.retired");
+    h2++;
+    EXPECT_EQ(h.value(), 8u);
+
+    g.resetAll();
+    EXPECT_EQ(h.value(), 0u);
+
+    // A default-constructed handle reads false until bound.
+    StatHandle unbound;
+    EXPECT_FALSE(bool(unbound));
 }
 
 TEST(StatsTest, SumWithPrefixAndReset)

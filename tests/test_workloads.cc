@@ -75,6 +75,51 @@ INSTANTIATE_TEST_SUITE_P(AllPairs, WorkloadMatrixTest,
                          ::testing::ValuesIn(matrix()), matrixName);
 
 // ------------------------------------------------------------------
+// Stat-registry parity after a full run: every counter is incremented
+// through an interned StatHandle, and must still be visible under its
+// dotted name with self-consistent totals.
+// ------------------------------------------------------------------
+
+TEST(StatParityTest, HandleCountersVisibleByNameAfterRun)
+{
+    auto r = runWorkload(Design::d1b4L, "vvadd", Scale::tiny);
+    ASSERT_TRUE(r.ok());
+    const auto &s = r.stats;
+    auto val = [&](const std::string &n) -> std::uint64_t {
+        auto it = s.find(n);
+        return it == s.end() ? 0 : it->second;
+    };
+
+    // The figure extractors and the raw snapshot read the same map.
+    EXPECT_EQ(r.bigFetched, val("big.fetched"));
+    EXPECT_EQ(r.ifetchReqs, val("sys.ifetchReqs"));
+    EXPECT_EQ(r.dataReqs, val("sys.dataReqs"));
+
+    // The run did real work and the counters saw it.
+    EXPECT_GT(val("big.retired"), 0u);
+    EXPECT_GT(val("l2.accesses"), 0u);
+    EXPECT_GT(val("dram.reads"), 0u);
+
+    // Every cache access resolves as exactly one hit or miss.
+    for (const char *c : {"big.l1i", "big.l1d", "l2"})
+        EXPECT_EQ(val(std::string(c) + ".accesses"),
+                  val(std::string(c) + ".hits") +
+                      val(std::string(c) + ".misses"))
+            << c;
+
+    // Every little-core cycle is accounted to exactly one stall cause.
+    for (int i = 0; i < 4; ++i) {
+        std::string p = "little" + std::to_string(i) + ".";
+        std::uint64_t stalls = 0;
+        for (const auto &kv : s)
+            if (kv.first.rfind(p + "stall.", 0) == 0)
+                stalls += kv.second;
+        EXPECT_GT(val(p + "cycles"), 0u) << p;
+        EXPECT_EQ(val(p + "cycles"), stalls) << p;
+    }
+}
+
+// ------------------------------------------------------------------
 // Cross-design performance-shape properties (tiny scale).
 // ------------------------------------------------------------------
 
