@@ -11,6 +11,8 @@
 #include "cpu/big_core.hh"
 #include "cpu/little_core.hh"
 #include "mem/mem_system.hh"
+#include "sim/check/check_context.hh"
+#include "sim/check/invariants.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "sweep/sweep_runner.hh"
@@ -154,6 +156,40 @@ BM_CacheHitPath(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheHitPath);
+
+/**
+ * DESIGN.md §12 overhead gate: the identical hit loop in the disarmed
+ * checker configuration a normal run sees — every cache's invariants
+ * registered (Soc does this unconditionally) and no CheckContext
+ * (Soc only constructs one when CheckOptions::enabled()). The
+ * registered closures are inert until swept and the access path has
+ * no checker hook, so this must stay within noise (<= 1%) of
+ * BM_CacheHitPath.
+ */
+void
+BM_CacheHitPathCheckerDisarmed(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain uncore(eq, "u", 1.0);
+    StatGroup stats;
+    MemSystem sys(uncore, stats);
+    InvariantRegistry reg;
+    sys.registerInvariants(reg);
+    static_assert(!CheckOptions{}.lockstep && !CheckOptions{}.invariants,
+                  "default CheckOptions must mean: no CheckContext");
+    benchmark::DoNotOptimize(&reg);
+    // Warm one line.
+    bool done = false;
+    sys.accessData(0, 0x1000, false, [&] { done = true; });
+    while (!done && eq.step()) {}
+    for (auto _ : state) {
+        bool hit = false;
+        sys.accessData(0, 0x1000, false, [&] { hit = true; });
+        while (!hit && eq.step()) {}
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_CacheHitPathCheckerDisarmed);
 
 ProgramPtr
 loopProgram(int n)

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the full test suite normally and
-# under AddressSanitizer + UBSan, then run the concurrency/determinism
-# tests under ThreadSanitizer to check the parallel sweep runner and
-# the library's re-entrancy guarantees.
+# under AddressSanitizer + UBSan, run the checker-enabled suite under
+# plain UBSan, run the concurrency/determinism tests under
+# ThreadSanitizer to check the parallel sweep runner and the library's
+# re-entrancy guarantees, and smoke the failure-forensics pipeline
+# (deliberately fatal fault plan -> JSON report -> plan minimizer).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,13 +27,34 @@ echo "=== kernel microbenchmark smoke (Release, short min_time) ==="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j "$jobs" --target microbench_sim >/dev/null
 ./build-bench/bench/microbench_sim \
-    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat' \
+    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath' \
     --benchmark_min_time=0.01
+
+echo "=== forensics smoke (fatal plan -> report -> minimizer) ==="
+report=build/forensics_smoke.json
+rm -f "$report"
+./build/examples/example_minimize_fault_plan "$report" \
+    | tee build/forensics_smoke.log
+test -s "$report" || { echo "FAIL: no failure report at $report"; exit 1; }
+minimal=$(sed -n 's/^minimal injections: //p' build/forensics_smoke.log)
+if [ -z "$minimal" ] || [ "$minimal" -gt 2 ]; then
+    echo "FAIL: minimizer did not converge (minimal='$minimal')"
+    exit 1
+fi
+grep -q '^one-minimal: yes' build/forensics_smoke.log \
+    || { echo "FAIL: minimized plan is not 1-minimal"; exit 1; }
+echo "forensics report written and plan minimized to $minimal injection(s)"
 
 echo "=== sanitized build (ASan + UBSan) ==="
 cmake -B build-asan -S . -DBVL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== undefined-behavior build (UBSan, checker-enabled suite) ==="
+cmake -B build-ubsan -S . -DBVL_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$jobs"
+ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
+      -R 'Lockstep|Forensics|Minimize|Invariant|Json|FaultedCosim|Cosim'
 
 echo "=== thread-sanitized build (TSan, concurrency tests) ==="
 cmake -B build-tsan -S . -DBVL_SANITIZE=thread >/dev/null

@@ -187,8 +187,8 @@ VectorLane::tick()
     }
 
     // Completion (write-back) notification to the engine.
-    clock.eventQueue().scheduleAt(readyTick, [this, vseq] {
-        env.uopRetired(vseq);
+    clock.eventQueue().scheduleAt(readyTick, [this, vseq, chime] {
+        env.uopRetired(vseq, chime);
     });
 
     uopQueue.pop_front();

@@ -1,7 +1,9 @@
 #include "core/vlittle_engine.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "sim/check/check_context.hh"
 #include "sim/fault.hh"
 #include "sim/watchdog.hh"
 
@@ -143,6 +145,8 @@ VlittleEngine::dispatch(const ExecTrace &trace,
     cmdQueue.push_back(vi);
     inflight[vi->vseq] = vi;
     sDispatched++;
+    if (check)
+        check->onVecDispatch(vi->vseq);
     activate();
 }
 
@@ -484,7 +488,8 @@ VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req,
     // progress watchdog reports the hang. The capture (LineReq + this
     // + attempt) fits MemCallback's inline buffer.
     auto done = [this, vmsu_idx, req, attempt] {
-        if (injector && injector->dropVmuResponse()) {
+        Tick now = clock().eventQueue().now();
+        if (injector && injector->dropVmuResponse(now)) {
             if (attempt < injector->vmuMaxRetries()) {
                 sVmuRetries++;
                 clock().scheduleCycles(
@@ -494,6 +499,20 @@ VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req,
                     });
             } else {
                 sVmuResponsesLost++;
+                // Remember the injection point so the watchdog's
+                // deadlock diagnostic can name it (bounded table).
+                if (lostResponses.size() < 16) {
+                    lostResponses.push_back({req.vseq, req.lineAddr,
+                                             req.isStore, vmsu_idx,
+                                             attempt + 1, now});
+                }
+                warn("%s: VMU %s response for line 0x%llx (vseq %llu, "
+                     "vmsu %u) lost after %u attempts; retry budget "
+                     "exhausted",
+                     p.name.c_str(), req.isStore ? "store" : "load",
+                     static_cast<unsigned long long>(req.lineAddr),
+                     static_cast<unsigned long long>(req.vseq),
+                     vmsu_idx, attempt + 1);
             }
             return;
         }
@@ -779,7 +798,7 @@ VlittleEngine::vxReadsComplete(SeqNum vseq)
 }
 
 void
-VlittleEngine::uopRetired(SeqNum vseq)
+VlittleEngine::uopRetired(SeqNum vseq, unsigned chime)
 {
     auto it = inflight.find(vseq);
     if (it == inflight.end())
@@ -787,6 +806,8 @@ VlittleEngine::uopRetired(SeqNum vseq)
     bvl_assert(it->second->lanePending > 0, "%s: uop underflow",
                p.name.c_str());
     --it->second->lanePending;
+    if (check)
+        check->onUopRetired(vseq, chime, clock().eventQueue().now());
     checkInstrDone(vseq);
     activate();
 }
@@ -846,8 +867,11 @@ VlittleEngine::completeInstr(VInstr &vi)
     idxChimesReady.erase(vi.vseq);
     idxSendCounts.erase(vi.vseq);
 
+    SeqNum vseq = vi.vseq;
     auto onDone = std::move(vi.onDone);
     inflight.erase(vi.vseq);
+    if (check)
+        check->onVecComplete(vseq);
     if (onDone)
         onDone();
 }
@@ -855,6 +879,83 @@ VlittleEngine::completeInstr(VInstr &vi)
 // --------------------------------------------------------------------
 // Hardening hooks
 // --------------------------------------------------------------------
+
+void
+VlittleEngine::registerInvariants(InvariantRegistry &reg)
+{
+    // VCU queue and credit conservation: every bound here is a credit
+    // the dispatch/crack logic must never oversubscribe.
+    reg.add(sp + "vcu.queues", [this]() -> std::string {
+        if (cmdQueue.size() > p.cmdQueueDepth)
+            return "command queue " + std::to_string(cmdQueue.size()) +
+                   " > depth " + std::to_string(p.cmdQueueDepth);
+        if (uopQueue.size() > p.uopQueueDepth)
+            return "uop queue " + std::to_string(uopQueue.size()) +
+                   " > depth " + std::to_string(p.uopQueueDepth);
+        if (dataSlotsUsed > p.dataQueueDepth)
+            return "scalar-data slots " + std::to_string(dataSlotsUsed) +
+                   " > depth " + std::to_string(p.dataQueueDepth);
+        return "";
+    });
+    reg.add(sp + "vcu.dataCredits", [this]() -> std::string {
+        // Every consumed scalar-data slot must belong to an in-flight
+        // or still-queued instruction that claimed one.
+        unsigned claimed = 0;
+        for (const auto &kv : inflight)
+            claimed += kv.second->needsDataSlot ? 1 : 0;
+        if (dataSlotsUsed > claimed)
+            return std::to_string(dataSlotsUsed) +
+                   " data slots used but only " +
+                   std::to_string(claimed) + " in-flight claimants";
+        return "";
+    });
+    reg.add(sp + "vmiu.queue", [this]() -> std::string {
+        if (vmiuQueue.size() > p.vmiuQueueDepth)
+            return "VMIU queue " + std::to_string(vmiuQueue.size()) +
+                   " > depth " + std::to_string(p.vmiuQueueDepth);
+        return "";
+    });
+    reg.add(sp + "vmsu.credits", [this]() -> std::string {
+        for (unsigned i = 0; i < vmsus.size(); ++i) {
+            const Vmsu &m = vmsus[i];
+            if (m.loadSlotsUsed > p.loadQueueLines)
+                return "vmsu" + std::to_string(i) + " load slots " +
+                       std::to_string(m.loadSlotsUsed) + " > " +
+                       std::to_string(p.loadQueueLines);
+            if (m.storeSlotsUsed > p.storeQueueLines)
+                return "vmsu" + std::to_string(i) + " store slots " +
+                       std::to_string(m.storeSlotsUsed) + " > " +
+                       std::to_string(p.storeQueueLines);
+            if (m.camUsed > p.storeCamEntries)
+                return "vmsu" + std::to_string(i) + " CAM entries " +
+                       std::to_string(m.camUsed) + " > " +
+                       std::to_string(p.storeCamEntries);
+        }
+        return "";
+    });
+    reg.add(sp + "uop.accounting", [this]() -> std::string {
+        // Broadcast bookkeeping: an instruction past cracking can
+        // never owe more broadcasts than its plan contains, nor more
+        // lane retires than a full per-lane fan-out of that plan.
+        for (const auto &kv : inflight) {
+            const VInstr &vi = *kv.second;
+            if (!vi.cracked)
+                continue;
+            if (vi.broadcastRemaining > vi.plan.size())
+                return "vseq " + std::to_string(vi.vseq) +
+                       " broadcastRemaining " +
+                       std::to_string(vi.broadcastRemaining) +
+                       " exceeds plan of " +
+                       std::to_string(vi.plan.size());
+            if (vi.lanePending > vi.plan.size() * p.numLanes)
+                return "vseq " + std::to_string(vi.vseq) +
+                       " lanePending " + std::to_string(vi.lanePending) +
+                       " exceeds plan fan-out of " +
+                       std::to_string(vi.plan.size() * p.numLanes);
+        }
+        return "";
+    });
+}
 
 void
 VlittleEngine::registerProgress(Watchdog &wd)
@@ -888,6 +989,20 @@ VlittleEngine::inflightReport()
                       " vsuQ " + std::to_string(vsuOrder.size());
     if (busStalledUntil > clock().eventQueue().now())
         out += " busStalledUntil " + std::to_string(busStalledUntil);
+    for (const auto &lost : lostResponses) {
+        out += " | LOST " + std::string(lost.isStore ? "store" : "load") +
+               " response: vseq " + std::to_string(lost.vseq) +
+               " line 0x" + [&] {
+                   char buf[20];
+                   std::snprintf(buf, sizeof(buf), "%llx",
+                                 static_cast<unsigned long long>(
+                                     lost.lineAddr));
+                   return std::string(buf);
+               }() +
+               " vmsu " + std::to_string(lost.vmsu) + " after " +
+               std::to_string(lost.attempts) + " attempts at tick " +
+               std::to_string(lost.tick);
+    }
     for (unsigned i = 0; i < vmsus.size(); ++i) {
         const Vmsu &m = vmsus[i];
         if (m.queue.empty() && !m.loadSlotsUsed && !m.storeSlotsUsed)

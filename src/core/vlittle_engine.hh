@@ -41,7 +41,9 @@
 namespace bvl
 {
 
+class CheckContext;
 class FaultInjector;
+class InvariantRegistry;
 class Watchdog;
 
 struct VEngineParams
@@ -111,13 +113,19 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
                           unsigned chime) override;
     bool vxDeliveryReady(SeqNum vseq) override;
     bool vxReadsComplete(SeqNum vseq) override;
-    void uopRetired(SeqNum vseq) override;
+    void uopRetired(SeqNum vseq, unsigned chime) override;
     bool vcuBlockedLockstep() const override { return lockstepBlocked; }
 
     const VEngineParams &params() const { return p; }
 
     /** Attach a fault injector (VCU bus stalls, VMU response drops). */
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /** Attach the checker front end (nullptr = disarmed). */
+    void setCheckContext(CheckContext *cc) { check = cc; }
+
+    /** Register VCU/VMU queue and credit invariants. */
+    void registerInvariants(InvariantRegistry &reg);
 
     /** Register the engine's heartbeat with a progress watchdog. */
     void registerProgress(Watchdog &wd);
@@ -167,6 +175,17 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
         unsigned vmsu = 0;
     };
 
+    /** A VMU response whose injected retry budget was exhausted. */
+    struct LostVmuResponse
+    {
+        SeqNum vseq = 0;
+        Addr lineAddr = 0;
+        bool isStore = false;
+        unsigned vmsu = 0;
+        unsigned attempts = 0;
+        Tick tick = 0;
+    };
+
     struct Vmsu
     {
         std::deque<LineReq> queue;
@@ -207,8 +226,11 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
                sStoreLineReqs, sLoadLineReqs, sVmsuRawStalls,
                sVluDeliveries, sVsuLines, sCompleted, sCycles;
     FaultInjector *injector = nullptr;
+    CheckContext *check = nullptr;
     /** Injected VCU command-bus stall: no broadcast until this tick. */
     Tick busStalledUntil = 0;
+    /** Lost responses, recorded for deadlock forensics (bounded). */
+    std::vector<LostVmuResponse> lostResponses;
 
     std::vector<std::unique_ptr<VectorLane>> lanes;
 

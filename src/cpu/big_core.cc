@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check/check_context.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -77,6 +78,8 @@ BigCore::runProgram(ProgramPtr program,
     vecOutstanding = 0;
     vecQueue.clear();
     bpred.reset();
+    if (check)
+        check->onProgramStart(this, prog.get(), arch);
     activate();
 }
 
@@ -99,6 +102,8 @@ BigCore::fetchStage()
         std::uint64_t fetchPc = arch.pc;
         ExecTrace tr = stepOne(arch, *prog, backing);
         sFetched++;
+        if (check)
+            check->onFetchExecuted(this, arch, tr, backing, eq.now());
 
         auto owned = std::make_unique<RobInst>();
         RobInst *inst = owned.get();
@@ -157,8 +162,11 @@ BigCore::fetchStage()
         if (in.op == Op::halt)
             haltSeen = true;
 
-        if (in.isVector())
+        if (in.isVector()) {
             vecQueue.push_back(inst);
+            if (check)
+                check->onVecQueued(this);
+        }
 
         if (in.traits().fu == FuClass::nop) {
             // li/nop/halt: complete at dispatch, no FU needed.
@@ -358,7 +366,53 @@ BigCore::commitStage()
         rob.pop_front();
         ++numRetired;
         sRetired++;
+        if (check)
+            check->onRetire(this, clock().eventQueue().now());
     }
+}
+
+void
+BigCore::registerInvariants(InvariantRegistry &reg)
+{
+    reg.add("big.rob.bound", [this]() -> std::string {
+        if (rob.size() <= p.robEntries)
+            return "";
+        return "ROB holds " + std::to_string(rob.size()) +
+               " entries, capacity " + std::to_string(p.robEntries);
+    });
+    reg.add("big.lsq.bound", [this]() -> std::string {
+        if (loadsInFlight <= p.lsqLoads && storesInFlight <= p.lsqStores)
+            return "";
+        return "LSQ credit overflow: " + std::to_string(loadsInFlight) +
+               "/" + std::to_string(p.lsqLoads) + " loads, " +
+               std::to_string(storesInFlight) + "/" +
+               std::to_string(p.lsqStores) + " stores";
+    });
+    // Vector instructions dispatch in program order, and with a
+    // head-dispatch engine an incomplete dispatched instruction can
+    // only be the ROB head (paper Section III-A).
+    reg.add("big.vec.dispatchOrder", [this]() -> std::string {
+        bool headDispatch = vengine && vengine->dispatchAtHead();
+        bool sawUndispatched = false;
+        for (std::size_t i = 0; i < rob.size(); ++i) {
+            const RobInst &inst = *rob[i];
+            if (!inst.trace.inst || !inst.trace.inst->isVector())
+                continue;
+            if (!inst.vecDispatched) {
+                sawUndispatched = true;
+                continue;
+            }
+            if (sawUndispatched) {
+                return "seq " + std::to_string(inst.seq) +
+                       " dispatched before an older vector instruction";
+            }
+            if (headDispatch && i > 0 && !inst.complete) {
+                return "seq " + std::to_string(inst.seq) +
+                       " dispatched while not at the ROB head";
+            }
+        }
+        return "";
+    });
 }
 
 void
@@ -404,6 +458,8 @@ BigCore::maybeFinish()
     if (vengine && !vengine->idle())
         return;
     running = false;
+    if (check)
+        check->onDrain(this, clock().eventQueue().now());
     if (onDone) {
         auto done = std::move(onDone);
         onDone = nullptr;

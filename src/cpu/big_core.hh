@@ -38,6 +38,8 @@ namespace bvl
 {
 
 class Watchdog;
+class CheckContext;
+class InvariantRegistry;
 
 struct BigCoreParams
 {
@@ -78,6 +80,15 @@ class BigCore : public Clocked
 
     /** Register the retire stage's heartbeat with a watchdog. */
     void registerProgress(Watchdog &wd);
+
+    /**
+     * Attach the checker front end (nullptr = disarmed; the hot paths
+     * then cost exactly one null-pointer branch, DESIGN.md §12).
+     */
+    void setCheckContext(CheckContext *cc) { check = cc; }
+
+    /** Register ROB/LSQ structural invariants with the checker. */
+    void registerInvariants(InvariantRegistry &reg);
 
     /** Pipeline occupancy snapshot for deadlock diagnostics. */
     std::string progressDetail() const;
@@ -125,6 +136,7 @@ class BigCore : public Clocked
     ArchState arch;
     std::function<void()> onDone;
     VectorEngine *vengine = nullptr;
+    CheckContext *check = nullptr;
 
     bool running = false;
     bool haltSeen = false;

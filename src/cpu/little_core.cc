@@ -1,5 +1,6 @@
 #include "cpu/little_core.hh"
 
+#include "sim/check/check_context.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -52,6 +53,8 @@ LittleCore::runProgram(ProgramPtr program,
     fuBusyUntil.fill(0);
     outstandingLoads = 0;
     outstandingStores = 0;
+    if (check)
+        check->onProgramStart(this, prog.get(), arch);
     activate();
 }
 
@@ -78,6 +81,8 @@ LittleCore::fetchStage()
 
     // Functional-first execution at fetch (oracle EX).
     ExecTrace tr = stepOne(arch, *prog, backing);
+    if (check)
+        check->onFetchExecuted(this, arch, tr, backing, eq.now());
     fetchQueue.push_back(PendingInst{std::move(tr)});
     sFetched++;
 
@@ -173,6 +178,8 @@ LittleCore::issueStage()
     fetchQueue.pop_front();
     ++numRetired;
     sRetired++;
+    if (check)
+        check->onRetire(this, now);
     recordStall(StallCause::busy);
     return true;
 }
@@ -185,6 +192,8 @@ LittleCore::maybeFinish()
     if (outstandingLoads != 0 || outstandingStores != 0)
         return;
     running = false;
+    if (check)
+        check->onDrain(this, clock().eventQueue().now());
     if (onDone) {
         // Defer: the callback may immediately start another program.
         auto done = std::move(onDone);
@@ -208,6 +217,28 @@ LittleCore::tick()
         recordStall(StallCause::misc);   // draining memory
     maybeFinish();
     return running;
+}
+
+void
+LittleCore::registerInvariants(InvariantRegistry &reg)
+{
+    reg.add(prefix + "fetchQ.bound", [this]() -> std::string {
+        if (fetchQueue.size() <= p.fetchQueueDepth)
+            return "";
+        return "fetch queue holds " +
+               std::to_string(fetchQueue.size()) + " entries, depth " +
+               std::to_string(p.fetchQueueDepth);
+    });
+    reg.add(prefix + "lsq.bound", [this]() -> std::string {
+        if (outstandingLoads <= p.lsqEntries &&
+            outstandingStores <= p.lsqEntries) {
+            return "";
+        }
+        return "LSQ credit overflow: " +
+               std::to_string(outstandingLoads) + " loads, " +
+               std::to_string(outstandingStores) + " stores, " +
+               std::to_string(p.lsqEntries) + " entries each";
+    });
 }
 
 void

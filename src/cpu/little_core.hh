@@ -32,6 +32,8 @@ namespace bvl
 {
 
 class Watchdog;
+class CheckContext;
+class InvariantRegistry;
 
 struct LittleCoreParams
 {
@@ -70,6 +72,12 @@ class LittleCore : public Clocked
     /** Register the retire stage's heartbeat with a watchdog. */
     void registerProgress(Watchdog &wd);
 
+    /** Attach the checker front end (nullptr = disarmed). */
+    void setCheckContext(CheckContext *cc) { check = cc; }
+
+    /** Register fetch-queue/LSQ structural invariants. */
+    void registerInvariants(InvariantRegistry &reg);
+
     /** Pipeline occupancy snapshot for deadlock diagnostics. */
     std::string progressDetail() const;
 
@@ -101,6 +109,7 @@ class LittleCore : public Clocked
     ProgramPtr prog;
     ArchState arch;
     std::function<void()> onDone;
+    CheckContext *check = nullptr;
     bool running = false;
     bool haltSeen = false;     ///< halt fetched; stop fetching
     bool haltIssued = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check/invariants.hh"
 #include "sim/fault.hh"
 #include "sim/watchdog.hh"
 
@@ -75,6 +76,38 @@ Cache::invalidate(Addr lineAddr)
     }
     lineMap.erase(it);
     sInvalidations++;
+}
+
+void
+Cache::registerInvariants(InvariantRegistry &reg)
+{
+    // O(1) structural checks only: invariant sweeps run at retire
+    // granularity, so no per-set/per-way walks here.
+    reg.add(p.name + ".mshr.bound", [this]() -> std::string {
+        if (mshrs.size() <= p.numMshrs)
+            return "";
+        return std::to_string(mshrs.size()) +
+               " MSHRs allocated, capacity " +
+               std::to_string(p.numMshrs);
+    });
+    reg.add(p.name + ".lineMap.bound", [this]() -> std::string {
+        std::size_t capacity =
+            static_cast<std::size_t>(numSets) * p.assoc;
+        if (lineMap.size() <= capacity)
+            return "";
+        return "line map tracks " + std::to_string(lineMap.size()) +
+               " lines, capacity " + std::to_string(capacity);
+    });
+    reg.add(p.name + ".mshr.stall", [this]() -> std::string {
+        // A request may only stall in pendingQueue while the MSHR
+        // file is genuinely full.
+        if (pendingQueue.empty() || mshrs.size() >= p.numMshrs)
+            return "";
+        return std::to_string(pendingQueue.size()) +
+               " requests stalled with only " +
+               std::to_string(mshrs.size()) + "/" +
+               std::to_string(p.numMshrs) + " MSHRs busy";
+    });
 }
 
 void

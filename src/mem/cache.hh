@@ -28,6 +28,7 @@ namespace bvl
 {
 
 class FaultInjector;
+class InvariantRegistry;
 class Watchdog;
 
 /** Construction parameters of one Cache. */
@@ -93,6 +94,9 @@ class Cache
 
     /** Register this cache's heartbeat with a progress watchdog. */
     void registerProgress(Watchdog &wd);
+
+    /** Register MSHR/state sanity invariants (O(1) checks only). */
+    void registerInvariants(InvariantRegistry &reg);
 
     /** One-line MSHR occupancy description for diagnostics. */
     std::string mshrReport() const;

@@ -67,6 +67,18 @@ MemSystem::registerProgress(Watchdog &wd)
 }
 
 void
+MemSystem::registerInvariants(InvariantRegistry &reg)
+{
+    for (auto &l1d : littleL1Ds)
+        l1d->registerInvariants(reg);
+    for (auto &l1i : littleL1Is)
+        l1i->registerInvariants(reg);
+    bigL1Dc->registerInvariants(reg);
+    bigL1Ic->registerInvariants(reg);
+    l2front->l2cache().registerInvariants(reg);
+}
+
+void
 MemSystem::fetchInst(unsigned coreId, Addr addr, MemCallback done)
 {
     sIfetchReqs++;

@@ -178,6 +178,9 @@ class MemSystem
     /** Register every level's heartbeat with a progress watchdog. */
     void registerProgress(Watchdog &wd);
 
+    /** Register every cache's structural invariants. */
+    void registerInvariants(InvariantRegistry &reg);
+
     unsigned numLittle() const { return p.numLittle; }
     unsigned bigCoreId() const { return p.numLittle; }
 

@@ -1,0 +1,319 @@
+#include "sim/check/forensics.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace bvl
+{
+
+const char *
+scaleName(Scale s)
+{
+    switch (s) {
+      case Scale::tiny: return "tiny";
+      case Scale::small: return "small";
+      case Scale::medium: return "medium";
+    }
+    return "?";
+}
+
+namespace
+{
+
+Scale
+parseScale(const std::string &name)
+{
+    for (Scale s : {Scale::tiny, Scale::small, Scale::medium})
+        if (name == scaleName(s))
+            return s;
+    fatal("replay recipe: unknown scale '%s'", name.c_str());
+}
+
+Design
+parseDesign(const std::string &name)
+{
+    for (Design d : {Design::d1L, Design::d1b, Design::d1bIV,
+                     Design::d1b4L, Design::d1bIV4L, Design::d1bDV,
+                     Design::d1b4VL})
+        if (name == designName(d))
+            return d;
+    fatal("replay recipe: unknown design '%s'", name.c_str());
+}
+
+FaultKind
+parseFaultKind(const std::string &name)
+{
+    for (FaultKind k : {FaultKind::memDelay, FaultKind::cacheDelay,
+                        FaultKind::vcuStall, FaultKind::vmuDrop})
+        if (name == faultKindName(k))
+            return k;
+    fatal("replay recipe: unknown fault kind '%s'", name.c_str());
+}
+
+Json
+checkOptionsToJson(const CheckOptions &c)
+{
+    Json j = Json::object();
+    j.set("lockstep", c.lockstep);
+    j.set("invariants", c.invariants);
+    j.set("retireContext", c.retireContext);
+    j.set("invariantPeriod", c.invariantPeriod);
+    j.set("forensicsPath", c.forensicsPath);
+    return j;
+}
+
+CheckOptions
+checkOptionsFromJson(const Json &j)
+{
+    CheckOptions c;
+    if (j.isNull())
+        return c;
+    if (j.has("lockstep"))
+        c.lockstep = j["lockstep"].asBool();
+    if (j.has("invariants"))
+        c.invariants = j["invariants"].asBool();
+    if (j.has("retireContext"))
+        c.retireContext =
+            static_cast<unsigned>(j["retireContext"].asU64());
+    if (j.has("invariantPeriod"))
+        c.invariantPeriod =
+            static_cast<unsigned>(j["invariantPeriod"].asU64());
+    if (j.has("forensicsPath"))
+        c.forensicsPath = j["forensicsPath"].asString();
+    return c;
+}
+
+Json
+runOptionsToJson(const RunOptions &o)
+{
+    Json j = Json::object();
+    j.set("bigGhz", o.bigGhz);
+    j.set("littleGhz", o.littleGhz);
+    j.set("limitNs", o.limitNs);
+    j.set("verifyResult", o.verifyResult);
+    j.set("watchdog", o.watchdog);
+    j.set("watchdogIntervalNs", o.watchdogIntervalNs);
+    j.set("faults", faultSpecToJson(o.faults));
+    j.set("check", checkOptionsToJson(o.check));
+    return j;
+}
+
+RunOptions
+runOptionsFromJson(const Json &j)
+{
+    RunOptions o;
+    if (j.isNull())
+        return o;
+    if (j.has("bigGhz"))
+        o.bigGhz = j["bigGhz"].asDouble();
+    if (j.has("littleGhz"))
+        o.littleGhz = j["littleGhz"].asDouble();
+    if (j.has("limitNs"))
+        o.limitNs = j["limitNs"].asDouble();
+    if (j.has("verifyResult"))
+        o.verifyResult = j["verifyResult"].asBool();
+    if (j.has("watchdog"))
+        o.watchdog = j["watchdog"].asBool();
+    if (j.has("watchdogIntervalNs"))
+        o.watchdogIntervalNs = j["watchdogIntervalNs"].asDouble();
+    o.faults = faultSpecFromJson(j["faults"]);
+    o.check = checkOptionsFromJson(j["check"]);
+    return o;
+}
+
+} // namespace
+
+Json
+faultSpecToJson(const FaultSpec &spec)
+{
+    Json j = Json::object();
+    j.set("enabled", spec.enabled);
+    j.set("seed", spec.seed);
+    j.set("memDelayProb", spec.memDelayProb);
+    j.set("memDelayCycles", spec.memDelayCycles);
+    j.set("cacheDelayProb", spec.cacheDelayProb);
+    j.set("cacheDelayCycles", spec.cacheDelayCycles);
+    j.set("vcuStallProb", spec.vcuStallProb);
+    j.set("vcuStallCycles", spec.vcuStallCycles);
+    j.set("vmuDropProb", spec.vmuDropProb);
+    j.set("vmuMaxRetries", spec.vmuMaxRetries);
+    j.set("vmuRetryDelay", spec.vmuRetryDelay);
+    Json script = Json::array();
+    for (const auto &f : spec.script) {
+        Json e = Json::object();
+        e.set("atTick", f.atTick);
+        e.set("kind", faultKindName(f.kind));
+        e.set("cycles", f.cycles);
+        script.push(std::move(e));
+    }
+    j.set("script", std::move(script));
+    return j;
+}
+
+FaultSpec
+faultSpecFromJson(const Json &j)
+{
+    FaultSpec spec;
+    if (j.isNull())
+        return spec;
+    if (j.has("enabled"))
+        spec.enabled = j["enabled"].asBool();
+    if (j.has("seed"))
+        spec.seed = j["seed"].asU64();
+    if (j.has("memDelayProb"))
+        spec.memDelayProb = j["memDelayProb"].asDouble();
+    if (j.has("memDelayCycles"))
+        spec.memDelayCycles = j["memDelayCycles"].asU64();
+    if (j.has("cacheDelayProb"))
+        spec.cacheDelayProb = j["cacheDelayProb"].asDouble();
+    if (j.has("cacheDelayCycles"))
+        spec.cacheDelayCycles = j["cacheDelayCycles"].asU64();
+    if (j.has("vcuStallProb"))
+        spec.vcuStallProb = j["vcuStallProb"].asDouble();
+    if (j.has("vcuStallCycles"))
+        spec.vcuStallCycles = j["vcuStallCycles"].asU64();
+    if (j.has("vmuDropProb"))
+        spec.vmuDropProb = j["vmuDropProb"].asDouble();
+    if (j.has("vmuMaxRetries"))
+        spec.vmuMaxRetries =
+            static_cast<unsigned>(j["vmuMaxRetries"].asU64());
+    if (j.has("vmuRetryDelay"))
+        spec.vmuRetryDelay = j["vmuRetryDelay"].asU64();
+    for (const auto &e : j["script"].items()) {
+        ScriptedFault f;
+        f.atTick = e["atTick"].asU64();
+        f.kind = parseFaultKind(e["kind"].asString());
+        f.cycles = e["cycles"].asU64();
+        spec.script.push_back(f);
+    }
+    return spec;
+}
+
+Json
+replayRecipeToJson(const ReplayRecipe &recipe)
+{
+    Json j = Json::object();
+    j.set("design", designName(recipe.design));
+    j.set("workload", recipe.workload);
+    j.set("scale", scaleName(recipe.scale));
+    j.set("options", runOptionsToJson(recipe.options));
+    return j;
+}
+
+ReplayRecipe
+replayRecipeFromJson(const Json &j)
+{
+    if (!j.has("design") || !j.has("workload") || !j.has("scale"))
+        fatal("replay recipe: missing design/workload/scale");
+    ReplayRecipe recipe;
+    recipe.design = parseDesign(j["design"].asString());
+    recipe.workload = j["workload"].asString();
+    recipe.scale = parseScale(j["scale"].asString());
+    recipe.options = runOptionsFromJson(j["options"]);
+    return recipe;
+}
+
+Json
+buildFailureReport(const RunResult &r, const ReplayRecipe &recipe)
+{
+    Json j = Json::object();
+    j.set("schema", "bvl-failure-report-v1");
+    j.set("status", runStatusName(r.status));
+    j.set("workload", r.workload);
+    j.set("design", r.design);
+    j.set("message", r.message);
+    j.set("finished", r.finished);
+    j.set("verified", r.verified);
+    j.set("ns", r.ns);
+
+    Json beats = Json::array();
+    for (const auto &hb : r.heartbeats) {
+        Json b = Json::object();
+        b.set("name", hb.name);
+        b.set("progress", hb.progress);
+        b.set("lastAdvance", hb.lastAdvance);
+        b.set("detail", hb.detail);
+        beats.push(std::move(b));
+    }
+    j.set("heartbeats", std::move(beats));
+
+    if (r.divergence) {
+        const DivergenceRecord &d = *r.divergence;
+        Json dv = Json::object();
+        dv.set("stream", d.stream);
+        dv.set("seq", d.seq);
+        dv.set("tick", d.tick);
+        dv.set("instr", d.instr);
+        dv.set("field", d.field);
+        dv.set("timedValue", d.timedValue);
+        dv.set("refValue", d.refValue);
+        dv.set("chime", d.chime);
+        dv.set("queueContext", d.queueContext);
+        Json hist = Json::array();
+        for (const auto &line : d.lastRetires)
+            hist.push(line);
+        dv.set("lastRetires", std::move(hist));
+        j.set("divergence", std::move(dv));
+    } else {
+        j.set("divergence", Json());
+    }
+
+    j.set("invariantViolations", r.invariantViolations);
+    j.set("log", r.log);
+
+    Json stats = Json::object();
+    for (const auto &kv : r.stats)
+        stats.set(kv.first, kv.second);
+    j.set("stats", std::move(stats));
+
+    j.set("replay", replayRecipeToJson(recipe));
+    return j;
+}
+
+bool
+writeFailureReport(const std::string &path, const RunResult &r,
+                   const ReplayRecipe &recipe)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("forensics: cannot write failure report to %s",
+             path.c_str());
+        return false;
+    }
+    out << buildFailureReport(r, recipe).dump(2) << "\n";
+    out.flush();
+    if (!out) {
+        warn("forensics: short write of failure report %s",
+             path.c_str());
+        return false;
+    }
+    return true;
+}
+
+ReplayRecipe
+loadReplayRecipe(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("forensics: cannot read %s", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    Json doc = Json::parse(text.str());
+    // Accept a full failure report or a bare recipe document.
+    const Json &recipe = doc.has("replay") ? doc["replay"] : doc;
+    return replayRecipeFromJson(recipe);
+}
+
+RunResult
+runReplay(const ReplayRecipe &recipe)
+{
+    ReplayRecipe rerun = recipe;
+    // Never clobber the report being replayed from.
+    rerun.options.check.forensicsPath.clear();
+    return runWorkload(rerun.design, rerun.workload, rerun.scale,
+                       rerun.options);
+}
+
+} // namespace bvl

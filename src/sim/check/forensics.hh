@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Failure forensics: structured reports and replay recipes.
+ *
+ * Any non-ok run can be serialized to a JSON failure report
+ * (schema "bvl-failure-report-v1") capturing what is needed to
+ * understand and reproduce it: the run configuration including the
+ * fault plan and checker flags, the final per-component heartbeat
+ * table, queue occupancies, the first lockstep divergence if one was
+ * caught, the captured diagnostic log, and a replay recipe. Feeding
+ * the recipe back through runReplay() re-executes the identical
+ * deterministic run (the engine-parameter override of Figure 7/8
+ * sweeps is the one RunOptions field that is not serialized; replay
+ * uses the design's default preset).
+ */
+
+#ifndef BVL_SIM_CHECK_FORENSICS_HH
+#define BVL_SIM_CHECK_FORENSICS_HH
+
+#include <string>
+
+#include "sim/check/json.hh"
+#include "soc/run_driver.hh"
+#include "workloads/workload.hh"
+
+namespace bvl
+{
+
+/** Everything needed to deterministically re-run one failing run. */
+struct ReplayRecipe
+{
+    Design design = Design::d1b4VL;
+    std::string workload;
+    Scale scale = Scale::tiny;
+    RunOptions options{};
+};
+
+const char *scaleName(Scale s);
+
+/** JSON <-> recipe. fromJson throws SimFatalError on malformed input. */
+Json replayRecipeToJson(const ReplayRecipe &recipe);
+ReplayRecipe replayRecipeFromJson(const Json &j);
+
+/** JSON <-> fault plan (shared with the recipe serialization). */
+Json faultSpecToJson(const FaultSpec &spec);
+FaultSpec faultSpecFromJson(const Json &j);
+
+/** Build the full "bvl-failure-report-v1" document for @p r. */
+Json buildFailureReport(const RunResult &r, const ReplayRecipe &recipe);
+
+/**
+ * Serialize @p r to @p path. Returns false (with a warn()) when the
+ * file cannot be written; forensics must never turn a diagnosable
+ * failure into a crash.
+ */
+bool writeFailureReport(const std::string &path, const RunResult &r,
+                        const ReplayRecipe &recipe);
+
+/**
+ * Load the replay recipe from @p path, accepting either a full
+ * failure report (its "replay" member) or a bare recipe document.
+ * Throws SimFatalError on unreadable or malformed files.
+ */
+ReplayRecipe loadReplayRecipe(const std::string &path);
+
+/**
+ * Re-run the recipe's workload/design/options. The recipe's
+ * forensicsPath is cleared first so a replay never overwrites the
+ * report it came from.
+ */
+RunResult runReplay(const ReplayRecipe &recipe);
+
+} // namespace bvl
+
+#endif // BVL_SIM_CHECK_FORENSICS_HH

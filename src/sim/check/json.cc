@@ -1,0 +1,358 @@
+#include "sim/check/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace bvl
+{
+
+namespace
+{
+
+const Json nullValue{};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json: %s at offset %zu", what, pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (text.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Reports only emit \u for control characters; encode
+                // anything else as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        std::size_t start = pos;
+        bool neg = false;
+        bool isFloat = false;
+        if (peek() == '-') {
+            neg = true;
+            ++pos;
+        }
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isFloat = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        std::string tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-")
+            fail("bad number");
+        if (!isFloat) {
+            errno = 0;
+            if (neg) {
+                std::int64_t v = std::strtoll(tok.c_str(), nullptr, 10);
+                if (errno == 0)
+                    return Json(v);
+            } else {
+                std::uint64_t v = std::strtoull(tok.c_str(), nullptr, 10);
+                if (errno == 0)
+                    return Json(v);
+            }
+        }
+        return Json(std::strtod(tok.c_str(), nullptr));
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            Json out = Json::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return out;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                out.set(std::move(key), parseValue());
+                skipWs();
+                char sep = peek();
+                ++pos;
+                if (sep == '}')
+                    return out;
+                if (sep != ',')
+                    fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Json out = Json::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return out;
+            }
+            while (true) {
+                out.push(parseValue());
+                skipWs();
+                char sep = peek();
+                ++pos;
+                if (sep == ']')
+                    return out;
+                if (sep != ',')
+                    fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"')
+            return Json(parseString());
+        if (consumeLiteral("true"))
+            return Json(true);
+        if (consumeLiteral("false"))
+            return Json(false);
+        if (consumeLiteral("null"))
+            return Json();
+        return parseNumber();
+    }
+};
+
+} // namespace
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    const Json *v = find(key);
+    return v ? *v : nullValue;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+
+    switch (_kind) {
+      case Kind::null:
+        out += "null";
+        break;
+      case Kind::boolean:
+        out += b ? "true" : "false";
+        break;
+      case Kind::number:
+        if (integral) {
+            if (negative)
+                out += std::to_string(static_cast<std::int64_t>(u));
+            else
+                out += std::to_string(u);
+        } else if (std::isfinite(d)) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+            out += buf;
+        } else {
+            out += "null";   // JSON has no inf/nan
+        }
+        break;
+      case Kind::string:
+        appendEscaped(out, s);
+        break;
+      case Kind::array:
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Kind::object:
+        if (obj.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, obj[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser p{text};
+    Json v = p.parseValue();
+    p.skipWs();
+    if (p.pos != text.size())
+        p.fail("trailing characters");
+    return v;
+}
+
+} // namespace bvl

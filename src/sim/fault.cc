@@ -101,9 +101,29 @@ FaultInjector::vcuStall(Tick now)
 }
 
 bool
-FaultInjector::dropVmuResponse()
+FaultInjector::takeScriptedOne(FaultKind kind, Tick now)
 {
-    if (!spec_.enabled || !roll(spec_.vmuDropProb))
+    for (std::size_t i = 0; i < spec_.script.size(); ++i) {
+        const ScriptedFault &f = spec_.script[i];
+        if (fired[i] || f.kind != kind || f.atTick > now)
+            continue;
+        fired[i] = true;
+        countFault(kind, true);
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::dropVmuResponse(Tick now)
+{
+    if (!spec_.enabled)
+        return false;
+    // Scripted drops first: they never touch the Rng, so scripting a
+    // deterministic drop does not shift a probabilistic plan's draws.
+    if (takeScriptedOne(FaultKind::vmuDrop, now))
+        return true;
+    if (!roll(spec_.vmuDropProb))
         return false;
     countFault(FaultKind::vmuDrop, false);
     return true;

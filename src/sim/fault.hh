@@ -106,8 +106,13 @@ class FaultInjector
     /** Cycles the VCU broadcast bus must stall, polled per attempt. */
     Cycles vcuStall(Tick now);
 
-    /** True if this VMU memory response should be dropped. */
-    bool dropVmuResponse();
+    /**
+     * True if this VMU memory response should be dropped. Scripted
+     * vmuDrop entries due by @p now each consume one response (one
+     * drop per entry, checked before any probabilistic roll so the
+     * plan's Rng draw sequence is unaffected by scripting).
+     */
+    bool dropVmuResponse(Tick now);
 
     unsigned vmuMaxRetries() const { return spec_.vmuMaxRetries; }
     Cycles vmuRetryDelay() const { return spec_.vmuRetryDelay; }
@@ -115,6 +120,8 @@ class FaultInjector
   private:
     /** Sum of not-yet-fired scripted faults of @p kind due by @p now. */
     Cycles takeScripted(FaultKind kind, Tick now);
+    /** Consume one not-yet-fired scripted fault of @p kind due by now. */
+    bool takeScriptedOne(FaultKind kind, Tick now);
     bool roll(double prob);
     void countFault(FaultKind kind, bool scripted);
 

@@ -59,6 +59,22 @@ Watchdog::report() const
     return out;
 }
 
+std::vector<Watchdog::Heartbeat>
+Watchdog::snapshot() const
+{
+    std::vector<Heartbeat> out;
+    out.reserve(sources.size());
+    for (const auto &src : sources) {
+        Heartbeat hb;
+        hb.name = src.name;
+        hb.progress = src.progress ? src.progress() : 0;
+        hb.lastAdvance = src.lastAdvance;
+        hb.detail = src.detail ? src.detail() : "";
+        out.push_back(std::move(hb));
+    }
+    return out;
+}
+
 void
 Watchdog::scheduleCheck()
 {

@@ -96,6 +96,21 @@ class Watchdog
      */
     std::string report() const;
 
+    /** One heartbeat sampled for the forensics failure report. */
+    struct Heartbeat
+    {
+        std::string name;
+        std::uint64_t progress = 0;
+        Tick lastAdvance = 0;
+        std::string detail;
+    };
+
+    /**
+     * Sample every source *now* (re-querying progress and detail, so
+     * it works whether or not the watchdog is armed).
+     */
+    std::vector<Heartbeat> snapshot() const;
+
   private:
     struct Source
     {

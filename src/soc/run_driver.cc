@@ -1,5 +1,6 @@
 #include "soc/run_driver.hh"
 
+#include "sim/check/forensics.hh"
 #include "sim/logging.hh"
 #include "sim/watchdog.hh"
 
@@ -15,6 +16,7 @@ runStatusName(RunStatus s)
       case RunStatus::deadlock: return "deadlock";
       case RunStatus::verify_failed: return "verify_failed";
       case RunStatus::sim_error: return "sim_error";
+      case RunStatus::check_failed: return "check_failed";
     }
     return "?";
 }
@@ -45,9 +47,20 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
             sp.engineOverride =
                 std::make_unique<VEngineParams>(*opts.engineOverride);
         sp.faults = opts.faults;
+        sp.check = opts.check;
         soc = std::make_unique<Soc>(std::move(sp));
 
         workload.init(soc->backing);
+
+        // Lockstep is exact only when exactly one component fetches a
+        // single program stream: the non-runtime data-parallel modes.
+        // Task graphs (and 1b-4L/1bIV-4L) degrade to invariants only.
+        bool singleStream = workload.isDataParallel() &&
+                            design != Design::d1b4L &&
+                            design != Design::d1bIV4L;
+        // Arm before any program is dispatched: arming snapshots the
+        // initialized backing store for the reference model.
+        soc->armLockstep(singleStream);
 
         auto onDone = [&] { done = true; };
 
@@ -137,6 +150,11 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
             warn("%s on %s: simulated-time limit (%g ns) expired",
                  r.workload.c_str(), r.design.c_str(), opts.limitNs);
         }
+    } catch (const CheckError &e) {
+        r.status = RunStatus::check_failed;
+        r.message = e.what();
+        if (e.hasDivergence())
+            r.divergence = e.divergence();
     } catch (const DeadlockError &e) {
         r.status = RunStatus::deadlock;
         r.message = e.what();
@@ -147,6 +165,13 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
 
     if (soc) {
         soc->watchdog.disarm();
+        if (!r.ok()) {
+            // Forensics capture: final heartbeat table and a last
+            // invariant sweep, regardless of how the run failed.
+            r.heartbeats = soc->watchdog.snapshot();
+            if (soc->checker())
+                r.invariantViolations = soc->checker()->invariantReport();
+        }
         r.finished = finished;
         r.ns = soc->elapsedNs();
         r.ifetchReqs = soc->stats.value("sys.ifetchReqs");
@@ -178,6 +203,16 @@ runWorkload(Design design, const std::string &name, Scale scale,
         return r;
     }
     auto r = runWorkload(design, *w, opts);
+
+    // Forensics: only this overload knows the (name, scale) pair a
+    // replay recipe needs, so the failure report is written here.
+    if (!r.ok() && !opts.check.forensicsPath.empty()) {
+        ReplayRecipe recipe{design, name, scale, opts};
+        if (writeFailureReport(opts.check.forensicsPath, r, recipe))
+            inform("failure report written to %s",
+                   opts.check.forensicsPath.c_str());
+    }
+
     // Construction happened before the run, so its text goes first.
     r.log = capture.take() + r.log;
     return r;

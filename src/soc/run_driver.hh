@@ -52,6 +52,12 @@ struct RunOptions
     double watchdogIntervalNs = 100000.0;
     /** Deterministic fault-injection plan (disabled by default). */
     FaultSpec faults{};
+    /**
+     * Online checking: lockstep co-simulation against the functional
+     * model and/or structural invariant sweeps, plus the forensics
+     * report path. Disarmed by default (zero hot-path cost).
+     */
+    CheckOptions check{};
 };
 
 /** How a run ended; anything but ok is a recoverable failure. */
@@ -62,6 +68,7 @@ enum class RunStatus
     deadlock,       ///< watchdog fired or the event queue drained dry
     verify_failed,  ///< completed but produced a wrong result
     sim_error,      ///< a model invariant tripped (panic/fatal)
+    check_failed,   ///< online checker caught a divergence/violation
 };
 
 const char *runStatusName(RunStatus s);
@@ -92,6 +99,15 @@ struct RunResult
 
     /** Full stat snapshot for detailed analyses. */
     std::map<std::string, std::uint64_t> stats;
+
+    // --- forensics capture (populated on any non-ok status) ----------
+
+    /** Final per-component heartbeat table (watchdog snapshot). */
+    std::vector<Watchdog::Heartbeat> heartbeats;
+    /** First lockstep divergence, when the checker caught one. */
+    std::optional<DivergenceRecord> divergence;
+    /** Structural-invariant violations at end of run ("" = none). */
+    std::string invariantViolations;
 
     std::uint64_t stat(const std::string &name) const
     {

@@ -1,5 +1,6 @@
 #include "soc/soc.hh"
 
+#include "sim/logging.hh"
 #include "vector/engine_presets.hh"
 
 namespace bvl
@@ -100,6 +101,52 @@ Soc::Soc(SocParams params)
     if (engine)
         engine->registerProgress(watchdog);
     mem.registerProgress(watchdog);
+
+    // Structural invariants are registered unconditionally (a stored
+    // closure per check, swept only when a CheckContext is armed).
+    big->registerInvariants(invariants);
+    for (auto &l : littles)
+        l->registerInvariants(invariants);
+    if (engine)
+        engine->registerInvariants(invariants);
+    mem.registerInvariants(invariants);
+
+    if (p.check.enabled()) {
+        checkCtx = std::make_unique<CheckContext>(p.check, stats,
+                                                  invariants);
+        big->setCheckContext(checkCtx.get());
+        for (auto &l : littles)
+            l->setCheckContext(checkCtx.get());
+        if (engine)
+            engine->setCheckContext(checkCtx.get());
+        checkCtx->setContextProvider([this] {
+            std::string out = "big: " + big->progressDetail();
+            if (engine) {
+                std::string rep = engine->inflightReport();
+                if (!rep.empty())
+                    out += "\nengine: " + rep;
+            }
+            return out;
+        });
+    }
+}
+
+bool
+Soc::armLockstep(bool singleStream)
+{
+    if (!checkCtx || !p.check.lockstep)
+        return false;
+    if (!singleStream) {
+        inform("lockstep checking requires a single program stream; "
+               "degrading to structural invariants only");
+        return false;
+    }
+    if (p.design == Design::d1L)
+        return checkCtx->armLockstep(littles[0].get(), "little0",
+                                     vlenBits(), 1, backing, false);
+    unsigned chimes = engine ? engine->params().chimes : 1;
+    return checkCtx->armLockstep(big.get(), "big", vlenBits(), chimes,
+                                 backing, engine != nullptr);
 }
 
 Soc::Soc(Design design, double bigGhz, double littleGhz)

@@ -16,6 +16,7 @@
 #include "cpu/big_core.hh"
 #include "cpu/little_core.hh"
 #include "mem/mem_system.hh"
+#include "sim/check/check_context.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
@@ -57,6 +58,8 @@ struct SocParams
     std::unique_ptr<VEngineParams> engineOverride;
     /** Deterministic fault-injection plan (disabled by default). */
     FaultSpec faults{};
+    /** Online checking (lockstep + invariants); disarmed by default. */
+    CheckOptions check{};
 };
 
 class Soc
@@ -82,6 +85,22 @@ class Soc
     /** The run's fault injector (null when injection is disabled). */
     FaultInjector *faultInjector() { return injector.get(); }
 
+    /** The run's check context (null when checking is disarmed). */
+    CheckContext *checker() { return checkCtx.get(); }
+
+    /** Registered structural invariants (always populated). */
+    InvariantRegistry &invariantRegistry() { return invariants; }
+
+    /**
+     * Arm the lockstep checker on this run's single program stream
+     * (the big core, or the little core of the 1L design). Lockstep
+     * is exact only for single-stream runs: @p singleStream is false
+     * for task-parallel shapes, in which case the checker degrades to
+     * structural invariants only and this returns false. Also returns
+     * false when checking is disabled or lockstep was not requested.
+     */
+    bool armLockstep(bool singleStream);
+
     EventQueue eq;
     ClockDomain bigClk;
     ClockDomain littleClk;
@@ -99,6 +118,9 @@ class Soc
 
   private:
     std::unique_ptr<FaultInjector> injector;
+    /** Declared after the components its callbacks capture. */
+    InvariantRegistry invariants;
+    std::unique_ptr<CheckContext> checkCtx;
     SocParams p;
 };
 

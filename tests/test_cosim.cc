@@ -11,6 +11,7 @@
 
 #include "isa/arch_state.hh"
 #include "sim/rng.hh"
+#include "soc/run_driver.hh"
 #include "soc/soc.hh"
 
 namespace bvl
@@ -217,6 +218,79 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         std::string s = std::string(designName(std::get<1>(info.param))) +
                         "_s" + std::to_string(std::get<0>(info.param));
+        for (auto &c : s)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return s;
+    });
+
+// ------------------------------------------------- faulted co-simulation
+//
+// Recoverable fault plans must not change semantics: with the lockstep
+// checker armed, every retire still has to match the functional model
+// exactly, and the run must end RunStatus::ok. This is the strongest
+// statement of the recovery contract — not just "the workload verified"
+// but "no instruction ever produced a wrong value on the way".
+
+/** A recoverable fault plan per paper-relevant disturbance class. */
+FaultSpec
+recoverablePlan(int variant)
+{
+    FaultSpec f;
+    f.enabled = true;
+    f.seed = 77 + variant;
+    switch (variant) {
+      case 0:   // stretched memory responses
+        f.memDelayProb = 0.05;
+        f.cacheDelayProb = 0.1;
+        break;
+      case 1:   // bounded VCU broadcast stalls, scripted and random
+        f.vcuStallProb = 0.05;
+        f.vcuStallCycles = 12;
+        f.script.push_back({20000, FaultKind::vcuStall, 40});
+        f.script.push_back({60000, FaultKind::vcuStall, 40});
+        break;
+      default:  // dropped VMU responses, all within the retry budget
+        f.vmuDropProb = 0.1;
+        f.vmuMaxRetries = 3;
+        f.vmuRetryDelay = 16;
+        f.script.push_back({0, FaultKind::vmuDrop, 0});
+        f.script.push_back({0, FaultKind::vmuDrop, 0});
+        break;
+    }
+    return f;
+}
+
+class FaultedCosimTest
+    : public ::testing::TestWithParam<std::tuple<int, Design>>
+{};
+
+TEST_P(FaultedCosimTest, RecoverableFaultsRetireMatchTheModel)
+{
+    auto [variant, design] = GetParam();
+    RunOptions opts;
+    opts.faults = recoverablePlan(variant);
+    opts.check.lockstep = true;
+    opts.check.invariants = true;
+
+    RunResult r = runWorkload(design, "vvadd", Scale::tiny, opts);
+    ASSERT_EQ(r.status, RunStatus::ok) << r.message << "\n" << r.log;
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stat("check.retires"), 0u);
+    EXPECT_EQ(r.stat("check.divergences"), 0u);
+    if (designHasVector(design))
+        EXPECT_GT(r.stat("check.uops"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansByDesign, FaultedCosimTest,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Values(Design::d1b, Design::d1bIV,
+                                         Design::d1bDV,
+                                         Design::d1b4VL)),
+    [](const auto &info) {
+        std::string s = std::string(designName(std::get<1>(info.param))) +
+                        "_plan" + std::to_string(std::get<0>(info.param));
         for (auto &c : s)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -84,7 +84,7 @@ TEST(FaultTest, DisabledSpecInjectsNothing)
     EXPECT_EQ(inj.memResponseDelay(1000), 0u);
     EXPECT_EQ(inj.cacheResponseDelay(1000), 0u);
     EXPECT_EQ(inj.vcuStall(1000), 0u);
-    EXPECT_FALSE(inj.dropVmuResponse());
+    EXPECT_FALSE(inj.dropVmuResponse(1000));
 }
 
 TEST(FaultTest, ScriptedFaultFiresExactlyOnce)
