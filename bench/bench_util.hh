@@ -69,6 +69,24 @@ taskParallelNames()
             "mis", "kcore"};
 }
 
+/**
+ * BVL_TRACE_DIR=<dir>: every run the bench launches writes a
+ * Perfetto trace to <dir>/<seq>_<design>_<workload>.json. The
+ * sequence number is assigned at submission time (single-threaded),
+ * so concurrent sweep jobs never share a file and the filenames are
+ * stable for any BVL_JOBS.
+ */
+inline void
+applyTraceEnv(RunOptions &opts, Design d, const std::string &name)
+{
+    const char *dir = std::getenv("BVL_TRACE_DIR");
+    if (!dir || !*dir)
+        return;
+    static unsigned seq = 0;
+    opts.trace.path = std::string(dir) + "/" + std::to_string(seq++) +
+                      "_" + designName(d) + "_" + name + ".json";
+}
+
 /** Report a failed run while consuming sweep results. */
 inline RunResult
 checkResult(RunResult r)
@@ -85,6 +103,7 @@ inline RunResult
 runChecked(Design d, const std::string &name, Scale scale,
            RunOptions opts = {})
 {
+    applyTraceEnv(opts, d, name);
     return checkResult(runWorkload(d, name, scale, opts));
 }
 
@@ -102,6 +121,7 @@ class SweepResults
     push(Design d, const std::string &name, Scale scale,
          RunOptions opts = {})
     {
+        applyTraceEnv(opts, d, name);
         futures.push_back(pool.submit({d, name, scale, opts}));
     }
 

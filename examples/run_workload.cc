@@ -41,7 +41,12 @@ usage(const char *argv0)
                  "          [--big-ghz F] [--little-ghz F] "
                  "[--limit-ns NS] [--stats]\n"
                  "          [--no-verify] [--list]\n"
-                 "designs: 1L 1b 1bIV 1b-4L 1bIV-4L 1bDV 1b-4VL\n",
+                 "          [--trace FILE] [--trace-cats CSV] "
+                 "[--trace-start NS] [--trace-stop NS]\n"
+                 "          [--sample FILE] [--sample-interval NS]\n"
+                 "designs: 1L 1b 1bIV 1b-4L 1bIV-4L 1bDV 1b-4VL\n"
+                 "trace cats: big,core,vcu,lane,vxu,vmu,cache,dram "
+                 "(default all)\n",
                  argv0);
 }
 
@@ -93,6 +98,18 @@ main(int argc, char **argv)
             opts.verifyResult = false;
         } else if (arg == "--limit-ns") {
             opts.limitNs = std::atof(next());
+        } else if (arg == "--trace") {
+            opts.trace.path = next();
+        } else if (arg == "--trace-cats") {
+            opts.trace.categories = parseTraceCats(next());
+        } else if (arg == "--trace-start") {
+            opts.trace.startNs = std::atof(next());
+        } else if (arg == "--trace-stop") {
+            opts.trace.stopNs = std::atof(next());
+        } else if (arg == "--sample") {
+            opts.trace.samplePath = next();
+        } else if (arg == "--sample-interval") {
+            opts.trace.sampleIntervalNs = std::atof(next());
         } else {
             usage(argv[0]);
             return 1;

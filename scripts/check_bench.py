@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh google-benchmark JSON run
+against the pinned baseline (BENCH_kernel.json at the repo root) and
+fail when a gated kernel microbenchmark regressed beyond tolerance.
+
+The gated benches are the allocation-free hot paths the simulator's
+throughput rests on; anything touching the event queue, stat counters
+or the cache hit path shows up here long before it shows up in a
+figure sweep.
+
+Absolute nanoseconds are machine-dependent, so the tolerance is
+deliberately loose (default 25%) and can be widened for noisy CI
+runners via --tolerance or BVL_BENCH_TOLERANCE. The gate catches
+order-of-magnitude mistakes (an accidental allocation or lock on the
+hot path), not single-digit-percent drift; scripts/bench.sh --update
+refreshes the baseline after intentional changes.
+
+Usage:
+    scripts/check_bench.py --results build-bench/microbench.json
+    scripts/check_bench.py --results r.json --tolerance 0.5
+    scripts/check_bench.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED = ["BM_CacheHitPath", "BM_TickChurn", "BM_StatIncrement"]
+
+
+def load_baseline(path):
+    """name -> cpu_ns from a BENCH_kernel.json document."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {name: entry["cpu_ns"]
+            for name, entry in doc.get("microbenchmarks", {}).items()}
+
+
+def load_results(path):
+    """name -> cpu_ns from google-benchmark --benchmark_out JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = b["cpu_time"]
+    return out
+
+
+def compare(baseline, results, tolerance, benches):
+    """Return (failures, report_lines); failures is a list of names."""
+    failures = []
+    lines = []
+    for name in benches:
+        if name not in baseline:
+            failures.append(name)
+            lines.append("%-20s MISSING from baseline" % name)
+            continue
+        if name not in results:
+            failures.append(name)
+            lines.append("%-20s MISSING from results" % name)
+            continue
+        base, new = baseline[name], results[name]
+        ratio = new / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSED"
+            failures.append(name)
+        elif ratio < 1.0 / (1.0 + tolerance):
+            verdict = "improved"
+        lines.append("%-20s %12.3f ns -> %12.3f ns  (%+6.1f%%)  %s"
+                     % (name, base, new, (ratio - 1.0) * 100.0, verdict))
+    return failures, lines
+
+
+def self_test():
+    """Machine-independent check that the gate actually gates."""
+    baseline = {"BM_CacheHitPath": 25.0, "BM_TickChurn": 17000.0,
+                "BM_StatIncrement": 0.4}
+
+    ok = dict(baseline)
+    failures, _ = compare(baseline, ok, 0.25, GATED)
+    assert not failures, "identical results must pass: %s" % failures
+
+    noisy = {k: v * 1.2 for k, v in baseline.items()}
+    failures, _ = compare(baseline, noisy, 0.25, GATED)
+    assert not failures, "20%% drift within 25%% tolerance: %s" % failures
+
+    slow = dict(baseline)
+    slow["BM_CacheHitPath"] *= 2.0  # injected slowdown
+    failures, lines = compare(baseline, slow, 0.25, GATED)
+    assert failures == ["BM_CacheHitPath"], \
+        "2x slowdown must fail exactly one bench: %s" % failures
+    assert any("REGRESSED" in l for l in lines)
+
+    missing = dict(baseline)
+    del missing["BM_TickChurn"]
+    failures, _ = compare(baseline, missing, 0.25, GATED)
+    assert failures == ["BM_TickChurn"], \
+        "a dropped bench must fail: %s" % failures
+
+    fast = {k: v * 0.5 for k, v in baseline.items()}
+    failures, lines = compare(baseline, fast, 0.25, GATED)
+    assert not failures
+    assert all("improved" in l for l in lines)
+
+    print("check_bench.py self-test: all cases behaved")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare kernel microbenches against the pinned "
+                    "baseline")
+    ap.add_argument("--baseline", default="BENCH_kernel.json",
+                    help="pinned baseline (default: BENCH_kernel.json)")
+    ap.add_argument("--results",
+                    help="google-benchmark --benchmark_out JSON to check")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("BVL_BENCH_TOLERANCE",
+                                                 "0.25")),
+                    help="allowed slowdown fraction (default 0.25, env "
+                         "BVL_BENCH_TOLERANCE)")
+    ap.add_argument("--benches", default=",".join(GATED),
+                    help="comma-separated gated bench names")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the comparator catches an injected "
+                         "slowdown, then exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.results:
+        ap.error("--results is required (or use --self-test)")
+
+    benches = [b for b in args.benches.split(",") if b]
+    baseline = load_baseline(args.baseline)
+    results = load_results(args.results)
+    failures, lines = compare(baseline, results, args.tolerance, benches)
+
+    print("bench gate: tolerance %.0f%%, baseline %s"
+          % (args.tolerance * 100.0, args.baseline))
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print("FAIL: regressed/missing: %s" % ", ".join(failures))
+        print("(intentional change? refresh with scripts/bench.sh "
+              "--update)")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

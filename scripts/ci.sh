@@ -3,14 +3,41 @@
 # under AddressSanitizer + UBSan, run the checker-enabled suite under
 # plain UBSan, run the concurrency/determinism tests under
 # ThreadSanitizer to check the parallel sweep runner and the library's
-# re-entrancy guarantees, and smoke the failure-forensics pipeline
-# (deliberately fatal fault plan -> JSON report -> plan minimizer).
+# re-entrancy guarantees, smoke the failure-forensics pipeline
+# (deliberately fatal fault plan -> JSON report -> plan minimizer),
+# and gate the kernel microbenchmarks against the pinned baseline
+# (scripts/check_bench.py).
+#
+# Suites are selected with ctest labels (see tests/CMakeLists.txt):
+# unit, checker, concurrency, trace.
+#
+# Parallelism: --jobs N or BVL_CI_JOBS=N (default: nproc). CI runners
+# often have fewer cores than nproc reports usable; both knobs
+# propagate to cmake --build and ctest.
+#
+# Usage: scripts/ci.sh [--jobs N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-jobs=$(nproc)
 
-echo "=== normal build ==="
+jobs="${BVL_CI_JOBS:-$(nproc)}"
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --jobs)
+        [ $# -ge 2 ] || { echo "--jobs needs a value" >&2; exit 2; }
+        jobs="$2"; shift 2 ;;
+      --jobs=*)
+        jobs="${1#--jobs=}"; shift ;;
+      *)
+        echo "unknown option: $1 (usage: scripts/ci.sh [--jobs N])" >&2
+        exit 2 ;;
+    esac
+done
+case "$jobs" in
+  ''|*[!0-9]*) echo "--jobs/BVL_CI_JOBS must be a number" >&2; exit 2 ;;
+esac
+
+echo "=== normal build (jobs=$jobs) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
@@ -21,14 +48,32 @@ BVL_SCALE=tiny BVL_JOBS=4 ./build/bench/fig04_speedup > build/fig04.j4
 cmp build/fig04.j1 build/fig04.j4
 echo "fig04_speedup output is byte-identical across thread counts"
 
-echo "=== kernel microbenchmark smoke (Release, short min_time) ==="
-# Not a performance gate — just proves the benchmarks still build and
-# run. scripts/bench.sh produces the real numbers (BENCH_kernel.json).
+echo "=== armed-trace determinism (BVL_TRACE_DIR, BVL_JOBS=1 vs 4) ==="
+rm -rf build/traces.j1 build/traces.j4
+mkdir -p build/traces.j1 build/traces.j4
+BVL_SCALE=tiny BVL_JOBS=1 BVL_TRACE_DIR=build/traces.j1 \
+    ./build/bench/fig04_speedup > build/fig04.traced.j1
+BVL_SCALE=tiny BVL_JOBS=4 BVL_TRACE_DIR=build/traces.j4 \
+    ./build/bench/fig04_speedup > build/fig04.traced.j4
+cmp build/fig04.j1 build/fig04.traced.j1   # tracing never perturbs
+diff <(cd build/traces.j1 && md5sum *.json) \
+     <(cd build/traces.j4 && md5sum *.json)
+python3 scripts/pipeview.py \
+    "$(ls build/traces.j1/*_1b-4VL_saxpy.json | head -1)" \
+    --track vcu --limit 5 >/dev/null
+echo "traces are byte-identical across thread counts"
+
+echo "=== kernel microbenchmark gate (Release) ==="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j "$jobs" --target microbench_sim >/dev/null
+python3 scripts/check_bench.py --self-test
 ./build-bench/bench/microbench_sim \
     --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath' \
-    --benchmark_min_time=0.01
+    --benchmark_min_time=0.1 \
+    --benchmark_out=build-bench/microbench_ci.json \
+    --benchmark_out_format=json
+python3 scripts/check_bench.py \
+    --results build-bench/microbench_ci.json
 
 echo "=== forensics smoke (fatal plan -> report -> minimizer) ==="
 report=build/forensics_smoke.json
@@ -50,16 +95,16 @@ cmake -B build-asan -S . -DBVL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== undefined-behavior build (UBSan, checker-enabled suite) ==="
+echo "=== undefined-behavior build (UBSan, checker + trace suites) ==="
 cmake -B build-ubsan -S . -DBVL_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$jobs"
 ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
-      -R 'Lockstep|Forensics|Minimize|Invariant|Json|FaultedCosim|Cosim'
+      -L 'checker|trace'
 
 echo "=== thread-sanitized build (TSan, concurrency tests) ==="
 cmake -B build-tsan -S . -DBVL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-      -R 'Determinism|SweepRunner|Concurrency|LogCapture'
+      -L concurrency
 
 echo "=== ci.sh: all checks passed ==="

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Pipeline viewer for bvl Perfetto traces, in the spirit of gem5's
+O3PipeView: renders each traced instruction as one row on a shared
+time axis, with a character marking each pipeline stage.
+
+The input is a trace produced by an armed run (RunOptions::trace,
+`example_run_workload --trace`, or BVL_TRACE_DIR=... on a bench).
+Big-core rows use the retire-time async events, whose args carry the
+fetch/issue/complete/retire ticks of the instruction; vector rows use
+the VCU events' dispatch/complete ticks.
+
+    f.....i====c--r   | 42 vle
+    ^      ^    ^  ^
+    fetch  issue|  retire
+                complete
+
+Usage:
+    scripts/pipeview.py trace.json                 # big-core pipeline
+    scripts/pipeview.py trace.json --track vcu     # vector instructions
+    scripts/pipeview.py trace.json --start 100 --stop 400 --limit 50
+"""
+
+import argparse
+import json
+import sys
+
+TICKS_PER_NS = 1000  # must match sim/types.hh
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc["traceEvents"]
+
+
+def track_names(events):
+    """tid -> thread name from the metadata events."""
+    names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[ev["tid"]] = ev["args"]["name"]
+    return names
+
+
+def collect_big(events, names):
+    """Big/little-core instruction records from retire async pairs."""
+    rows = []
+    for ev in events:
+        if ev.get("ph") != "b":
+            continue
+        args = ev.get("args", {})
+        if "fetch" not in args or "retire" not in args:
+            continue
+        rows.append({
+            "seq": args.get("seq", 0),
+            "op": ev.get("name", "?"),
+            "track": names.get(ev.get("tid"), "?"),
+            "stages": [("f", args["fetch"]), ("i", args["issue"]),
+                       ("c", args["complete"]), ("r", args["retire"])],
+        })
+    rows.sort(key=lambda r: (r["stages"][0][1], r["seq"]))
+    return rows
+
+
+def collect_vcu(events, names):
+    """Vector instruction records from the VCU dispatch/complete pairs."""
+    rows = []
+    for ev in events:
+        if ev.get("ph") != "b" or ev.get("cat") != "vcu":
+            continue
+        args = ev.get("args", {})
+        if "dispatch" not in args or "complete" not in args:
+            continue
+        rows.append({
+            "seq": args.get("vseq", 0),
+            "op": ev.get("name", "?"),
+            "track": names.get(ev.get("tid"), "?"),
+            "stages": [("d", args["dispatch"]),
+                       ("c", args["complete"])],
+        })
+    rows.sort(key=lambda r: (r["stages"][0][1], r["seq"]))
+    return rows
+
+
+def render(rows, width, out):
+    if not rows:
+        out.write("no matching instructions in trace\n")
+        return
+    t0 = min(r["stages"][0][1] for r in rows)
+    t1 = max(r["stages"][-1][1] for r in rows)
+    span = max(t1 - t0, 1)
+    scale = span / max(width - 1, 1)
+
+    def col(t):
+        return int((t - t0) / scale)
+
+    out.write("# %d instructions, %.1f ns span, %.3f ns/char\n"
+              % (len(rows), span / TICKS_PER_NS,
+                 scale / TICKS_PER_NS))
+    for r in rows:
+        line = [" "] * width
+        stages = r["stages"]
+        # Fill phases: '.' fetch->issue (in flight, not yet issued),
+        # '=' issue->complete (executing), '-' complete->retire
+        # (done, waiting at the ROB head).
+        fills = {0: ".", 1: "=", 2: "-"}
+        for i in range(len(stages) - 1):
+            a, b = col(stages[i][1]), col(stages[i + 1][1])
+            for c in range(a, min(b, width)):
+                line[c] = fills.get(i, "=")
+        for mark, t in stages:
+            c = col(t)
+            if 0 <= c < width:
+                line[c] = mark
+        out.write("%s | %6d %-10s %s\n"
+                  % ("".join(line), r["seq"], r["op"], r["track"]))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="O3PipeView-style renderer for bvl traces")
+    ap.add_argument("trace", help="Perfetto JSON trace file")
+    ap.add_argument("--track", choices=["big", "vcu"], default="big",
+                    help="big: scalar-core pipeline (default); "
+                         "vcu: vector instructions")
+    ap.add_argument("--start", type=float, default=None,
+                    help="only instructions fetched at/after this ns")
+    ap.add_argument("--stop", type=float, default=None,
+                    help="only instructions fetched at/before this ns")
+    ap.add_argument("--limit", type=int, default=200,
+                    help="max rows (default 200, 0 = all)")
+    ap.add_argument("--width", type=int, default=100,
+                    help="timeline width in characters")
+    args = ap.parse_args()
+
+    events = load_events(args.trace)
+    names = track_names(events)
+    rows = (collect_big if args.track == "big" else collect_vcu)(
+        events, names)
+
+    if args.start is not None:
+        lo = args.start * TICKS_PER_NS
+        rows = [r for r in rows if r["stages"][0][1] >= lo]
+    if args.stop is not None:
+        hi = args.stop * TICKS_PER_NS
+        rows = [r for r in rows if r["stages"][0][1] <= hi]
+    dropped = 0
+    if args.limit and len(rows) > args.limit:
+        dropped = len(rows) - args.limit
+        rows = rows[:args.limit]
+
+    render(rows, args.width, sys.stdout)
+    if dropped:
+        sys.stdout.write("# %d more rows suppressed (--limit)\n"
+                         % dropped)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

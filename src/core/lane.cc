@@ -1,6 +1,7 @@
 #include "core/lane.hh"
 
 #include "isa/reg.hh"
+#include "sim/trace/tracer.hh"
 
 namespace bvl
 {
@@ -186,6 +187,16 @@ VectorLane::tick()
       }
     }
 
+    if (trace && trace->wants(TraceCat::lane)) {
+        Json args = Json::object();
+        args.set("vseq", vseq);
+        args.set("chime", uop.chime);
+        args.set("elems", uop.elems);
+        args.set("op", opName(uop.op));
+        trace->span(TraceCat::lane, traceTid, uopKindName(uop.kind),
+                    now, readyTick, std::move(args));
+    }
+
     // Completion (write-back) notification to the engine.
     clock.eventQueue().scheduleAt(readyTick, [this, vseq, chime] {
         env.uopRetired(vseq, chime);
@@ -195,6 +206,14 @@ VectorLane::tick()
     ++numUops;
     sUops++;
     recordStall(StallCause::busy);
+}
+
+void
+VectorLane::setTracer(Tracer *t)
+{
+    trace = t;
+    if (trace)
+        traceTid = trace->track(prefix + "lane");
 }
 
 } // namespace bvl

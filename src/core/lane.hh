@@ -27,6 +27,8 @@
 namespace bvl
 {
 
+class Tracer;
+
 /** Engine services a lane needs while executing micro-ops. */
 class LaneEnv
 {
@@ -73,6 +75,10 @@ class VectorLane
 
     std::uint64_t uopsRetired() const { return numUops; }
 
+    /** Attach the tracer (nullptr = disarmed) and register this
+     *  lane's "<prefix>lane" track. */
+    void setTracer(Tracer *t);
+
   private:
     void recordStall(StallCause cause);
     bool srcsReady(const VUop &uop, StallCause &why) const;
@@ -88,6 +94,8 @@ class VectorLane
     std::array<StatHandle, numStallCauses> sStall;
     FuLatencies fu;
     unsigned queueDepth;
+    Tracer *trace = nullptr;
+    unsigned traceTid = 0;
 
     std::deque<VUop> uopQueue;
 

@@ -5,6 +5,7 @@
 
 #include "sim/check/check_context.hh"
 #include "sim/fault.hh"
+#include "sim/trace/tracer.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -119,10 +120,10 @@ VlittleEngine::canAccept(const ExecTrace &trace) const
 }
 
 void
-VlittleEngine::dispatch(const ExecTrace &trace,
+VlittleEngine::dispatch(const ExecTrace &tr,
                         std::function<void()> onDone)
 {
-    bvl_assert(canAccept(trace), "%s: dispatch without canAccept",
+    bvl_assert(canAccept(tr), "%s: dispatch without canAccept",
                p.name.c_str());
 
     if (!vectorMode) {
@@ -132,19 +133,33 @@ VlittleEngine::dispatch(const ExecTrace &trace,
         if (p.controlsL1Mode)
             mem.setVectorMode(true);
         sModeSwitches++;
+        if (trace && trace->wants(TraceCat::vcu)) {
+            trace->span(TraceCat::vcu, tidVcu, "modeSwitch",
+                        clock().eventQueue().now(), switchReadyAt);
+        }
     }
 
     auto vi = std::make_shared<VInstr>();
     vi->vseq = nextVseq++;
-    vi->trace = trace;
+    vi->trace = tr;
     vi->onDone = std::move(onDone);
-    vi->needsDataSlot = needsScalarData(*trace.inst);
+    vi->needsDataSlot = needsScalarData(*tr.inst);
     if (vi->needsDataSlot)
         ++dataSlotsUsed;
 
     cmdQueue.push_back(vi);
     inflight[vi->vseq] = vi;
     sDispatched++;
+    if (trace) {
+        vi->dispatchTick = clock().eventQueue().now();
+        if (trace->wants(TraceCat::vcu)) {
+            Json args = Json::object();
+            args.set("vseq", vi->vseq);
+            args.set("op", opName(tr.inst->op));
+            trace->instant(TraceCat::vcu, tidVcu, "dispatch",
+                           vi->dispatchTick, std::move(args));
+        }
+    }
     if (check)
         check->onVecDispatch(vi->vseq);
     activate();
@@ -449,6 +464,15 @@ VlittleEngine::vcuBroadcastTick()
 
     uopQueue.pop_front();
     sUopsBroadcast++;
+    if (trace && trace->wants(TraceCat::vcu)) {
+        Json args = Json::object();
+        args.set("vseq", vi->vseq);
+        args.set("chime", uop.chime);
+        args.set("kind", uopKindName(uop.kind));
+        args.set("op", opName(in.op));
+        trace->instant(TraceCat::vcu, tidVcu, "broadcast", beq.now(),
+                       std::move(args));
+    }
     bvl_assert(vi->broadcastRemaining > 0, "broadcast underflow");
     if (--vi->broadcastRemaining == 0)
         checkInstrDone(vi->vseq);
@@ -462,6 +486,11 @@ void
 VlittleEngine::deliverLine(unsigned vmsu_idx, SeqNum vseq,
                            std::uint64_t reqSeq, bool isStore)
 {
+    if (trace && trace->wants(TraceCat::vmu)) {
+        trace->asyncEnd(TraceCat::vmu, tidVmsu[vmsu_idx],
+                        isStore ? "store" : "load", reqSeq,
+                        clock().eventQueue().now());
+    }
     if (isStore) {
         --vmsus[vmsu_idx].storeSlotsUsed;
         auto it = inflight.find(vseq);
@@ -481,6 +510,18 @@ VlittleEngine::issueToMemory(unsigned vmsu_idx, const LineReq &req,
 {
     Addr addr = req.lineAddr << lineShift;
     bool isStore = req.isStore;
+
+    if (attempt == 0 && trace && trace->wants(TraceCat::vmu)) {
+        // Outstanding line requests overlap per VMSU, so their memory
+        // lifetimes pair as async events keyed by the request seq.
+        Json args = Json::object();
+        args.set("vseq", req.vseq);
+        args.set("line", req.lineAddr);
+        args.set("elems", req.elemCount);
+        trace->asyncBegin(TraceCat::vmu, tidVmsu[vmsu_idx],
+                          isStore ? "store" : "load", req.reqSeq,
+                          clock().eventQueue().now(), std::move(args));
+    }
 
     // Injected fault: the response is dropped on the way back to the
     // VMSU. Bounded retries re-issue the line request after a timeout;
@@ -614,6 +655,16 @@ VlittleEngine::vmiuTick()
         vluOrder.push_back(req);
     }
     (isStore ? sStoreLineReqs : sLoadLineReqs)++;
+    if (trace && trace->wants(TraceCat::vmu)) {
+        Json args = Json::object();
+        args.set("vseq", vseq);
+        args.set("line", req.lineAddr);
+        args.set("vmsu", vmsuIdx);
+        args.set("elems", count);
+        args.set("store", isStore);
+        trace->instant(TraceCat::vmu, tidVmiu, "lineReq",
+                       clock().eventQueue().now(), std::move(args));
+    }
 
     vmiuNextElem[vseq] = ne + count;
     if (ne + count == addrs.size()) {
@@ -698,6 +749,14 @@ VlittleEngine::vluTick()
         }
     }
 
+    if (trace && trace->wants(TraceCat::vmu)) {
+        Json args = Json::object();
+        args.set("vseq", req.vseq);
+        args.set("line", req.lineAddr);
+        args.set("elems", req.elemCount);
+        trace->instant(TraceCat::vmu, tidVlu, "deliver",
+                       clock().eventQueue().now(), std::move(args));
+    }
     --vmsus[req.vmsu].loadSlotsUsed;
     vluDataReady.erase(req.reqSeq);
     vluOrder.pop_front();
@@ -719,6 +778,13 @@ VlittleEngine::vsuTick()
     unsigned have = it == storeElemsReceived.end() ? 0 : it->second;
     if (have < req.elemStart + req.elemCount)
         return;   // lanes have not produced this line's elements yet
+    if (trace && trace->wants(TraceCat::vmu)) {
+        Json args = Json::object();
+        args.set("vseq", req.vseq);
+        args.set("line", req.lineAddr);
+        trace->instant(TraceCat::vmu, tidVsu, "lineReady",
+                       clock().eventQueue().now(), std::move(args));
+    }
     vmsus[req.vmsu].storeDataReady.insert(req.reqSeq);
     vsuOrder.pop_front();
     sVsuLines++;
@@ -760,11 +826,21 @@ VlittleEngine::indexFromLane(SeqNum vseq, unsigned, unsigned)
 }
 
 void
-VlittleEngine::vxSourceFromLane(SeqNum vseq, unsigned, unsigned)
+VlittleEngine::vxSourceFromLane(SeqNum vseq, unsigned lane,
+                                unsigned chime)
 {
     if (vseq != vxuVseq)
         return;
     ++vxReadsDone;
+    if (trace && trace->wants(TraceCat::vxu)) {
+        Json args = Json::object();
+        args.set("vseq", vseq);
+        args.set("lane", lane);
+        args.set("chime", chime);
+        args.set("reads", vxReadsDone);
+        trace->instant(TraceCat::vxu, tidVxu, "ringRead",
+                       clock().eventQueue().now(), std::move(args));
+    }
     if (vxReadsDone == vxReadsExpected) {
         auto it = inflight.find(vseq);
         unsigned totalElems =
@@ -772,6 +848,14 @@ VlittleEngine::vxSourceFromLane(SeqNum vseq, unsigned, unsigned)
         // The ring shifts one hop per cycle for N element slots.
         vxDeliverAt = clock().eventQueue().now() +
                       clock().cyclesToTicks(totalElems);
+        if (trace && trace->wants(TraceCat::vxu)) {
+            Json args = Json::object();
+            args.set("vseq", vseq);
+            args.set("elems", totalElems);
+            trace->span(TraceCat::vxu, tidVxu, "ringShift",
+                        clock().eventQueue().now(), vxDeliverAt,
+                        std::move(args));
+        }
         if (it != inflight.end() && it->second->scalarViaRing) {
             // Scalar result returns to the big core after the ring
             // traversal plus one response hop.
@@ -855,6 +939,21 @@ VlittleEngine::completeInstr(VInstr &vi)
         return;
     vi.completed = true;
     sCompleted++;
+    if (trace && trace->wants(TraceCat::vcu)) {
+        // Vector instruction lifetimes overlap in the engine, so they
+        // pair as async events on the VCU track.
+        Tick now = clock().eventQueue().now();
+        std::uint64_t id = trace->nextAsyncId();
+        const char *name = opName(vi.trace.inst->op);
+        Json args = Json::object();
+        args.set("vseq", vi.vseq);
+        args.set("op", name);
+        args.set("dispatch", vi.dispatchTick);
+        args.set("complete", now);
+        trace->asyncBegin(TraceCat::vcu, tidVcu, name, id,
+                          vi.dispatchTick, std::move(args));
+        trace->asyncEnd(TraceCat::vcu, tidVcu, name, id, now);
+    }
 
     if (vxuVseq == vi.vseq) {
         vxuVseq = 0;
@@ -879,6 +978,25 @@ VlittleEngine::completeInstr(VInstr &vi)
 // --------------------------------------------------------------------
 // Hardening hooks
 // --------------------------------------------------------------------
+
+void
+VlittleEngine::setTracer(Tracer *t)
+{
+    trace = t;
+    if (!trace)
+        return;
+    tidVcu = trace->track(sp + "vcu");
+    tidVmiu = trace->track(sp + "vmiu");
+    tidVmsu.clear();
+    for (unsigned i = 0; i < vmsus.size(); ++i)
+        tidVmsu.push_back(trace->track(sp + "vmsu" +
+                                       std::to_string(i)));
+    tidVlu = trace->track(sp + "vlu");
+    tidVsu = trace->track(sp + "vsu");
+    tidVxu = trace->track(sp + "vxu");
+    for (auto &lane : lanes)
+        lane->setTracer(trace);
+}
 
 void
 VlittleEngine::registerInvariants(InvariantRegistry &reg)

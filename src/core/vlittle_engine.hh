@@ -44,6 +44,7 @@ namespace bvl
 class CheckContext;
 class FaultInjector;
 class InvariantRegistry;
+class Tracer;
 class Watchdog;
 
 struct VEngineParams
@@ -124,6 +125,11 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
     /** Attach the checker front end (nullptr = disarmed). */
     void setCheckContext(CheckContext *cc) { check = cc; }
 
+    /** Attach the tracer (nullptr = disarmed); registers the VCU /
+     *  VMIU / per-VMSU / VLU / VSU / VXU tracks and forwards to every
+     *  lane. */
+    void setTracer(Tracer *t);
+
     /** Register VCU/VMU queue and credit invariants. */
     void registerInvariants(InvariantRegistry &reg);
 
@@ -159,6 +165,8 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
         Tick ringDoneAt = maxTick;    ///< scalar-via-ring return time
         bool memGenDone = false;      ///< VMIU finished generating reqs
         bool completed = false;
+        /** Dispatch timestamp, recorded only while tracing. */
+        Tick dispatchTick = 0;
     };
     using VInstrPtr = std::shared_ptr<VInstr>;
 
@@ -227,6 +235,9 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
                sVluDeliveries, sVsuLines, sCompleted, sCycles;
     FaultInjector *injector = nullptr;
     CheckContext *check = nullptr;
+    Tracer *trace = nullptr;
+    unsigned tidVcu = 0, tidVmiu = 0, tidVlu = 0, tidVsu = 0, tidVxu = 0;
+    std::vector<unsigned> tidVmsu;
     /** Injected VCU command-bus stall: no broadcast until this tick. */
     Tick busStalledUntil = 0;
     /** Lost responses, recorded for deadlock forensics (bounded). */

@@ -32,6 +32,21 @@ enum class UopKind : std::uint8_t
     vxReduce,   ///< (first lane only) reduce all elements from the VXU
 };
 
+inline const char *
+uopKindName(UopKind k)
+{
+    switch (k) {
+      case UopKind::arith: return "arith";
+      case UopKind::loadWb: return "loadWb";
+      case UopKind::storeRd: return "storeRd";
+      case UopKind::indexSend: return "indexSend";
+      case UopKind::vxRead: return "vxRead";
+      case UopKind::vxWrite: return "vxWrite";
+      case UopKind::vxReduce: return "vxReduce";
+    }
+    return "?";
+}
+
 struct VUop
 {
     SeqNum vseq = 0;          ///< owning dynamic vector instruction

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/check/check_context.hh"
+#include "sim/trace/tracer.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -108,6 +109,8 @@ BigCore::fetchStage()
         auto owned = std::make_unique<RobInst>();
         RobInst *inst = owned.get();
         inst->seq = nextSeq++;
+        if (trace)
+            inst->fetchTick = eq.now();
         inst->trace = std::move(tr);
         const Instr &in = *inst->trace.inst;
 
@@ -172,6 +175,8 @@ BigCore::fetchStage()
             // li/nop/halt: complete at dispatch, no FU needed.
             inst->issued = true;
             inst->complete = true;
+            if (trace)
+                inst->issueTick = inst->completeTick = eq.now();
         } else if (!in.isVector() && inst->pendingSrcs == 0) {
             readyQueue.emplace(inst->seq, inst);
             inst->inReadyQueue = true;
@@ -236,6 +241,8 @@ BigCore::issueStage()
         // Issue.
         consumeFu(fu, now);
         inst->issued = true;
+        if (trace)
+            inst->issueTick = now;
         inst->inReadyQueue = false;
         it = readyQueue.erase(it);
         ++issued;
@@ -270,6 +277,8 @@ BigCore::completeInst(RobInst *inst)
     if (inst->complete)
         return;
     inst->complete = true;
+    if (trace)
+        inst->completeTick = clock().eventQueue().now();
 
     if (inst->predictedWrong && blockingBranch == inst) {
         blockingBranch = nullptr;
@@ -317,6 +326,15 @@ BigCore::vecDispatchStage()
         inst->vecDispatched = true;
         ++vecOutstanding;
         sVecDispatched++;
+        if (trace && trace->wants(TraceCat::big)) {
+            Json args = Json::object();
+            args.set("seq", inst->seq);
+            args.set("op", opName(in.op));
+            args.set("robHead",
+                     !rob.empty() && rob.front().get() == inst);
+            trace->instant(TraceCat::big, traceTid, "vecDispatch",
+                           clock().eventQueue().now(), std::move(args));
+        }
         if (in.traits().writesScalar) {
             vengine->dispatch(inst->trace, [this, inst] {
                 --vecOutstanding;
@@ -363,12 +381,37 @@ BigCore::commitStage()
             if (it != lastStoreToLine.end() && it->second == head)
                 lastStoreToLine.erase(it);
         }
+        if (trace && trace->wants(TraceCat::big)) {
+            // Instruction lifetimes overlap (out-of-order core), so
+            // they trace as async begin/end pairs, not complete spans.
+            Tick now = clock().eventQueue().now();
+            std::uint64_t id = trace->nextAsyncId();
+            Json args = Json::object();
+            args.set("seq", head->seq);
+            args.set("op", opName(in.op));
+            args.set("fetch", head->fetchTick);
+            args.set("issue", head->issueTick);
+            args.set("complete", head->completeTick);
+            args.set("retire", now);
+            trace->asyncBegin(TraceCat::big, traceTid, opName(in.op),
+                              id, head->fetchTick, std::move(args));
+            trace->asyncEnd(TraceCat::big, traceTid, opName(in.op),
+                            id, now);
+        }
         rob.pop_front();
         ++numRetired;
         sRetired++;
         if (check)
             check->onRetire(this, clock().eventQueue().now());
     }
+}
+
+void
+BigCore::setTracer(Tracer *t)
+{
+    trace = t;
+    if (trace)
+        traceTid = trace->track("big");
 }
 
 void

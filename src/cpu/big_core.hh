@@ -40,6 +40,7 @@ namespace bvl
 class Watchdog;
 class CheckContext;
 class InvariantRegistry;
+class Tracer;
 
 struct BigCoreParams
 {
@@ -90,6 +91,13 @@ class BigCore : public Clocked
     /** Register ROB/LSQ structural invariants with the checker. */
     void registerInvariants(InvariantRegistry &reg);
 
+    /**
+     * Attach the tracer (nullptr = disarmed; the hot paths then cost
+     * exactly one null-pointer branch, DESIGN.md §13). Registers this
+     * core's track.
+     */
+    void setTracer(Tracer *t);
+
     /** Pipeline occupancy snapshot for deadlock diagnostics. */
     std::string progressDetail() const;
 
@@ -112,6 +120,10 @@ class BigCore : public Clocked
         /** Youngest older store to the same line (load ordering). */
         RobInst *depStore = nullptr;
         bool depStoreDone = true;
+        /** Pipeline-stage timestamps, recorded only while tracing. */
+        Tick fetchTick = 0;
+        Tick issueTick = 0;
+        Tick completeTick = 0;
     };
 
     void fetchStage();
@@ -137,6 +149,8 @@ class BigCore : public Clocked
     std::function<void()> onDone;
     VectorEngine *vengine = nullptr;
     CheckContext *check = nullptr;
+    Tracer *trace = nullptr;
+    unsigned traceTid = 0;
 
     bool running = false;
     bool haltSeen = false;

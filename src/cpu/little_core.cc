@@ -1,6 +1,7 @@
 #include "cpu/little_core.hh"
 
 #include "sim/check/check_context.hh"
+#include "sim/trace/tracer.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -84,6 +85,8 @@ LittleCore::fetchStage()
     if (check)
         check->onFetchExecuted(this, arch, tr, backing, eq.now());
     fetchQueue.push_back(PendingInst{std::move(tr)});
+    if (trace)
+        fetchQueue.back().fetchTick = eq.now();
     sFetched++;
 
     const ExecTrace &t = fetchQueue.back().trace;
@@ -175,6 +178,20 @@ LittleCore::issueStage()
         ++regGen[in.rd];
     }
 
+    if (trace && trace->wants(TraceCat::core)) {
+        // Fetch-to-issue lifetimes of queued instructions overlap, so
+        // they trace as async begin/end pairs.
+        std::uint64_t aid = trace->nextAsyncId();
+        Json args = Json::object();
+        args.set("seq", numRetired + 1);
+        args.set("op", opName(in.op));
+        args.set("fetch", fetchQueue.front().fetchTick);
+        args.set("issue", now);
+        trace->asyncBegin(TraceCat::core, traceTid, opName(in.op), aid,
+                          fetchQueue.front().fetchTick, std::move(args));
+        trace->asyncEnd(TraceCat::core, traceTid, opName(in.op), aid,
+                        now);
+    }
     fetchQueue.pop_front();
     ++numRetired;
     sRetired++;
@@ -182,6 +199,14 @@ LittleCore::issueStage()
         check->onRetire(this, now);
     recordStall(StallCause::busy);
     return true;
+}
+
+void
+LittleCore::setTracer(Tracer *t)
+{
+    trace = t;
+    if (trace)
+        traceTid = trace->track("little" + std::to_string(id));
 }
 
 void

@@ -34,6 +34,7 @@ namespace bvl
 class Watchdog;
 class CheckContext;
 class InvariantRegistry;
+class Tracer;
 
 struct LittleCoreParams
 {
@@ -78,6 +79,10 @@ class LittleCore : public Clocked
     /** Register fetch-queue/LSQ structural invariants. */
     void registerInvariants(InvariantRegistry &reg);
 
+    /** Attach the tracer (nullptr = disarmed) and register the
+     *  "little<id>" track. */
+    void setTracer(Tracer *t);
+
     /** Pipeline occupancy snapshot for deadlock diagnostics. */
     std::string progressDetail() const;
 
@@ -88,6 +93,8 @@ class LittleCore : public Clocked
     struct PendingInst
     {
         ExecTrace trace;
+        /** Fetch timestamp, recorded only while tracing. */
+        Tick fetchTick = 0;
     };
 
     void fetchStage();
@@ -110,6 +117,8 @@ class LittleCore : public Clocked
     ArchState arch;
     std::function<void()> onDone;
     CheckContext *check = nullptr;
+    Tracer *trace = nullptr;
+    unsigned traceTid = 0;
     bool running = false;
     bool haltSeen = false;     ///< halt fetched; stop fetching
     bool haltIssued = false;

@@ -4,6 +4,7 @@
 
 #include "sim/check/invariants.hh"
 #include "sim/fault.hh"
+#include "sim/trace/tracer.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -111,6 +112,14 @@ Cache::registerInvariants(InvariantRegistry &reg)
 }
 
 void
+Cache::setTracer(Tracer *t)
+{
+    trace = t;
+    if (trace)
+        traceTid = trace->track(p.name);
+}
+
+void
 Cache::registerProgress(Watchdog &wd)
 {
     // Hits and fills together advance on every serviced access; the
@@ -192,6 +201,8 @@ Cache::handleMiss(Addr lineNum, bool isWrite, MemCallback done,
 
     Mshr &mshr = mshrs[lineNum];
     mshr.isWrite = isWrite;
+    if (trace)
+        mshr.allocTick = eq.now();
     if (done)
         mshr.waiters.push_back(std::move(done));
 
@@ -212,6 +223,21 @@ Cache::handleMiss(Addr lineNum, bool isWrite, MemCallback done,
                        p.name.c_str());
             bool isWrite = mit2->second.isWrite;
             auto waiters = std::move(mit2->second.waiters);
+            if (trace && trace->wants(TraceCat::cache)) {
+                // Miss lifetimes overlap (non-blocking cache), so
+                // MSHR allocate -> fill pairs as async events.
+                std::uint64_t id = trace->nextAsyncId();
+                Json args = Json::object();
+                args.set("line", lineNum);
+                args.set("write", isWrite);
+                args.set("waiters",
+                         static_cast<unsigned>(waiters.size()));
+                trace->asyncBegin(TraceCat::cache, traceTid, "miss",
+                                  id, mit2->second.allocTick,
+                                  std::move(args));
+                trace->asyncEnd(TraceCat::cache, traceTid, "miss",
+                                id, eq2.now());
+            }
             mshrs.erase(mit2);
             fill(lineNum, isWrite);
             // One-cycle fill-forward latency to the waiting requests.

@@ -29,6 +29,7 @@ namespace bvl
 
 class FaultInjector;
 class InvariantRegistry;
+class Tracer;
 class Watchdog;
 
 /** Construction parameters of one Cache. */
@@ -92,6 +93,10 @@ class Cache
     /** Attach a fault injector that may stretch miss responses. */
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
 
+    /** Attach the tracer (nullptr = disarmed) and register this
+     *  cache's track; miss lifetimes trace MSHR allocate -> fill. */
+    void setTracer(Tracer *t);
+
     /** Register this cache's heartbeat with a progress watchdog. */
     void registerProgress(Watchdog &wd);
 
@@ -129,6 +134,8 @@ class Cache
     {
         bool isWrite = false;
         std::vector<MemCallback> waiters;
+        /** Allocation timestamp, recorded only while tracing. */
+        Tick allocTick = 0;
     };
 
     unsigned setIndex(Addr lineNum) const;
@@ -145,6 +152,8 @@ class Cache
     MemLevel *next;
     int l1Id;
     FaultInjector *injector = nullptr;
+    Tracer *trace = nullptr;
+    unsigned traceTid = 0;
 
     /** Counters interned once at construction (DESIGN.md §11): the
      *  per-access path increments through these, never by name. */

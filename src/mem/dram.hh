@@ -15,6 +15,7 @@
 #include "sim/clock_domain.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/trace/tracer.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -43,7 +44,7 @@ class Dram : public MemLevel
     }
 
     void
-    request(int, Addr, bool isWrite, MemCallback done) override
+    request(int, Addr lineAddr, bool isWrite, MemCallback done) override
     {
         auto &eq = clock.eventQueue();
         Tick start = std::max(eq.now(), channelNextFree);
@@ -54,12 +55,30 @@ class Dram : public MemLevel
         Tick extra = injector
             ? clock.cyclesToTicks(injector->memResponseDelay(eq.now()))
             : 0;
+        if (trace && trace->wants(TraceCat::dram)) {
+            // Channel occupancy: grants are serialized, so transfer
+            // spans never overlap and trace as complete events.
+            Json args = Json::object();
+            args.set("line", lineOf(lineAddr));
+            trace->span(TraceCat::dram, traceTid,
+                        isWrite ? "write" : "read", start,
+                        start + lineTicks, std::move(args));
+        }
         if (done)
             eq.scheduleAt(start + latencyTicks + extra, std::move(done));
     }
 
     /** Attach a fault injector that may stretch responses. */
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /** Attach the tracer and register the channel's track. */
+    void
+    setTracer(Tracer *t)
+    {
+        trace = t;
+        if (trace)
+            traceTid = trace->track(p.name);
+    }
 
     /** Register the channel's heartbeat with a progress watchdog. */
     void
@@ -75,6 +94,8 @@ class Dram : public MemLevel
     DramParams p;
     StatHandle sReads, sWrites;
     FaultInjector *injector = nullptr;
+    Tracer *trace = nullptr;
+    unsigned traceTid = 0;
     Tick latencyTicks;
     Tick lineTicks;
     Tick channelNextFree = 0;

@@ -55,6 +55,19 @@ MemSystem::setFaultInjector(FaultInjector *inj)
 }
 
 void
+MemSystem::setTracer(Tracer *t)
+{
+    bigL1Ic->setTracer(t);
+    bigL1Dc->setTracer(t);
+    for (auto &l1i : littleL1Is)
+        l1i->setTracer(t);
+    for (auto &l1d : littleL1Ds)
+        l1d->setTracer(t);
+    l2front->l2cache().setTracer(t);
+    dram->setTracer(t);
+}
+
+void
 MemSystem::registerProgress(Watchdog &wd)
 {
     // One heartbeat per cache keeps the diagnostic table readable and

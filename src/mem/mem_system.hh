@@ -175,6 +175,9 @@ class MemSystem
     /** Attach a fault injector to every cache and the DRAM channel. */
     void setFaultInjector(FaultInjector *inj);
 
+    /** Attach the tracer to every cache and the DRAM channel. */
+    void setTracer(Tracer *t);
+
     /** Register every level's heartbeat with a progress watchdog. */
     void registerProgress(Watchdog &wd);
 

@@ -86,6 +86,40 @@ checkOptionsFromJson(const Json &j)
 }
 
 Json
+traceOptionsToJson(const TraceOptions &t)
+{
+    Json j = Json::object();
+    j.set("path", t.path);
+    j.set("samplePath", t.samplePath);
+    j.set("startNs", t.startNs);
+    j.set("stopNs", t.stopNs);
+    j.set("categories", static_cast<std::uint64_t>(t.categories));
+    j.set("sampleIntervalNs", t.sampleIntervalNs);
+    return j;
+}
+
+TraceOptions
+traceOptionsFromJson(const Json &j)
+{
+    TraceOptions t;
+    if (j.isNull())
+        return t;
+    if (j.has("path"))
+        t.path = j["path"].asString();
+    if (j.has("samplePath"))
+        t.samplePath = j["samplePath"].asString();
+    if (j.has("startNs"))
+        t.startNs = j["startNs"].asDouble();
+    if (j.has("stopNs"))
+        t.stopNs = j["stopNs"].asDouble();
+    if (j.has("categories"))
+        t.categories = static_cast<unsigned>(j["categories"].asU64());
+    if (j.has("sampleIntervalNs"))
+        t.sampleIntervalNs = j["sampleIntervalNs"].asDouble();
+    return t;
+}
+
+Json
 runOptionsToJson(const RunOptions &o)
 {
     Json j = Json::object();
@@ -97,6 +131,7 @@ runOptionsToJson(const RunOptions &o)
     j.set("watchdogIntervalNs", o.watchdogIntervalNs);
     j.set("faults", faultSpecToJson(o.faults));
     j.set("check", checkOptionsToJson(o.check));
+    j.set("trace", traceOptionsToJson(o.trace));
     return j;
 }
 
@@ -120,6 +155,8 @@ runOptionsFromJson(const Json &j)
         o.watchdogIntervalNs = j["watchdogIntervalNs"].asDouble();
     o.faults = faultSpecFromJson(j["faults"]);
     o.check = checkOptionsFromJson(j["check"]);
+    if (j.has("trace"))
+        o.trace = traceOptionsFromJson(j["trace"]);
     return o;
 }
 

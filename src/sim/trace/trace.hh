@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace options shared by RunOptions and SocParams.
+ *
+ * The observability layer is always compiled and disarmed by default:
+ * components hold a raw `Tracer *` that stays nullptr in normal runs,
+ * so the entire disarmed cost on every hot path is one null-pointer
+ * branch (the same discipline as the fault injector and the checker,
+ * DESIGN.md §11/§12/§13). A Soc owns at most one Tracer, created only
+ * when TraceOptions::enabled().
+ *
+ * Two independent outputs hang off one option block:
+ *
+ *  - `path`: a Chrome trace-event / Perfetto-compatible JSON stream of
+ *    per-component spans and instants (load it in ui.perfetto.dev or
+ *    chrome://tracing).
+ *  - `samplePath`: interval stat sampling — StatGroup deltas are
+ *    snapshotted every sampleIntervalNs into a time-series document
+ *    (JSON, or CSV when the path ends in ".csv") so sweeps can plot
+ *    occupancy/stall curves instead of end-of-run totals.
+ */
+
+#ifndef BVL_SIM_TRACE_TRACE_HH
+#define BVL_SIM_TRACE_TRACE_HH
+
+#include <string>
+
+namespace bvl
+{
+
+/**
+ * Event categories, a bitmask. Each emitted event carries exactly one
+ * category; TraceOptions::categories selects which ones reach the
+ * file. Category names appear in the trace's "cat" field so Perfetto
+ * can filter on them too.
+ */
+enum class TraceCat : unsigned
+{
+    big = 1u << 0,    ///< big-core fetch/dispatch/retire, vector handoff
+    core = 1u << 1,   ///< little-core scalar instruction lifetimes
+    vcu = 1u << 2,    ///< VCU chime micro-op broadcast, mode switches
+    lane = 1u << 3,   ///< per-lane micro-op execute spans
+    vxu = 1u << 4,    ///< VXU ring reads and shift hops
+    vmu = 1u << 5,    ///< VMIU/VMSU/VLU/VSU transactions
+    cache = 1u << 6,  ///< cache miss lifetimes (MSHR allocate -> fill)
+    dram = 1u << 7,   ///< DRAM channel transfers
+};
+
+/** All categories armed (the default). */
+inline constexpr unsigned traceCatAll = 0xffu;
+
+const char *traceCatName(TraceCat c);
+
+/**
+ * Parse a comma-separated category list ("vcu,lane,vmu") into a mask.
+ * The empty string and "all" both mean every category. Throws
+ * SimFatalError on an unknown name.
+ */
+unsigned parseTraceCats(const std::string &csv);
+
+/** Tracing knobs carried by RunOptions and SocParams. */
+struct TraceOptions
+{
+    /** Trace-event JSON output path; empty disables event tracing. */
+    std::string path;
+    /** Interval-sample output path; empty disables stat sampling.
+     *  A ".csv" suffix selects CSV, anything else the JSON form. */
+    std::string samplePath;
+    /** Event-trace window start in simulated nanoseconds. */
+    double startNs = 0.0;
+    /** Window end in simulated ns; < 0 traces to the end of the run. */
+    double stopNs = -1.0;
+    /** Bitmask of TraceCat values routed to the event trace. */
+    unsigned categories = traceCatAll;
+    /** Stat-sampling period in simulated nanoseconds. */
+    double sampleIntervalNs = 1000.0;
+
+    /** True when the Soc needs to construct a Tracer. */
+    bool enabled() const { return !path.empty() || !samplePath.empty(); }
+};
+
+} // namespace bvl
+
+#endif // BVL_SIM_TRACE_TRACE_HH

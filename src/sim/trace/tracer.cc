@@ -1,0 +1,270 @@
+#include "sim/trace/tracer.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace bvl
+{
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::big: return "big";
+      case TraceCat::core: return "core";
+      case TraceCat::vcu: return "vcu";
+      case TraceCat::lane: return "lane";
+      case TraceCat::vxu: return "vxu";
+      case TraceCat::vmu: return "vmu";
+      case TraceCat::cache: return "cache";
+      case TraceCat::dram: return "dram";
+    }
+    return "?";
+}
+
+unsigned
+parseTraceCats(const std::string &csv)
+{
+    if (csv.empty() || csv == "all")
+        return traceCatAll;
+    static const std::pair<const char *, TraceCat> table[] = {
+        {"big", TraceCat::big},     {"core", TraceCat::core},
+        {"vcu", TraceCat::vcu},     {"lane", TraceCat::lane},
+        {"vxu", TraceCat::vxu},     {"vmu", TraceCat::vmu},
+        {"cache", TraceCat::cache}, {"dram", TraceCat::dram},
+    };
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string name = csv.substr(pos, comma - pos);
+        bool found = false;
+        for (const auto &[n, c] : table) {
+            if (name == n) {
+                mask |= static_cast<unsigned>(c);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("unknown trace category '%s' in '%s'", name.c_str(),
+                  csv.c_str());
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+Tracer::Tracer(const TraceOptions &options, EventQueue &queue,
+               StatGroup &statGroup)
+    : opts(options), eq(queue), stats(statGroup)
+{
+    if (!opts.path.empty()) {
+        out.open(opts.path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot open trace output '%s'", opts.path.c_str());
+        out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+        eventsArmed = true;
+        startTick = static_cast<Tick>(opts.startNs * ticksPerNs);
+        stopTick = opts.stopNs < 0
+                       ? maxTick
+                       : static_cast<Tick>(opts.stopNs * ticksPerNs);
+    }
+    if (!opts.samplePath.empty()) {
+        sampleTicks = static_cast<Tick>(opts.sampleIntervalNs * ticksPerNs);
+        if (sampleTicks == 0)
+            fatal("trace sampleIntervalNs must cover at least one tick");
+    }
+}
+
+Tracer::~Tracer()
+{
+    finish();
+}
+
+unsigned
+Tracer::track(const std::string &name)
+{
+    unsigned tid = nextTid++;
+    if (eventsArmed) {
+        Json ev = Json::object();
+        ev.set("name", "thread_name");
+        ev.set("ph", "M");
+        ev.set("pid", 1u);
+        ev.set("tid", tid);
+        Json args = Json::object();
+        args.set("name", name);
+        ev.set("args", std::move(args));
+        writeEvent(ev);
+    }
+    return tid;
+}
+
+void
+Tracer::emit(TraceCat c, unsigned tid, const char *name, char ph,
+             Tick at, const Json *dur, const std::uint64_t *id,
+             Json &&args)
+{
+    if (!wants(c) || !inWindow(at))
+        return;
+    Json ev = Json::object();
+    ev.set("name", name);
+    ev.set("cat", traceCatName(c));
+    ev.set("ph", std::string(1, ph));
+    // Trace-event timestamps are microseconds; ticks are picoseconds.
+    ev.set("ts", static_cast<double>(at) / 1e6);
+    if (dur)
+        ev.set("dur", *dur);
+    ev.set("pid", 1u);
+    ev.set("tid", tid);
+    if (id)
+        ev.set("id", *id);
+    if (!args.isNull())
+        ev.set("args", std::move(args));
+    writeEvent(ev);
+}
+
+void
+Tracer::span(TraceCat c, unsigned tid, const char *name, Tick start,
+             Tick end, Json args)
+{
+    Json dur(static_cast<double>(end - start) / 1e6);
+    emit(c, tid, name, 'X', start, &dur, nullptr, std::move(args));
+}
+
+void
+Tracer::instant(TraceCat c, unsigned tid, const char *name, Tick at,
+                Json args)
+{
+    emit(c, tid, name, 'i', at, nullptr, nullptr, std::move(args));
+}
+
+void
+Tracer::asyncBegin(TraceCat c, unsigned tid, const char *name,
+                   std::uint64_t id, Tick at, Json args)
+{
+    emit(c, tid, name, 'b', at, nullptr, &id, std::move(args));
+}
+
+void
+Tracer::asyncEnd(TraceCat c, unsigned tid, const char *name,
+                 std::uint64_t id, Tick at, Json args)
+{
+    emit(c, tid, name, 'e', at, nullptr, &id, std::move(args));
+}
+
+void
+Tracer::writeEvent(const Json &ev)
+{
+    if (!out.is_open())
+        return;
+    if (!firstEvent)
+        out << ",\n";
+    firstEvent = false;
+    out << ev.dump(0);
+}
+
+void
+Tracer::startSampling()
+{
+    if (sampleTicks == 0)
+        return;
+    // Seed the baseline snapshot so the first interval's deltas are
+    // relative to the armed state, then self-rearm every interval.
+    for (const auto &kv : stats.all())
+        prevValues[kv.first] = kv.second.value();
+    eq.schedule(sampleTicks, [this] { sampleNow(true); });
+}
+
+void
+Tracer::sampleNow(bool reschedule)
+{
+    Sample s;
+    s.at = eq.now();
+    for (const auto &kv : stats.all()) {
+        std::uint64_t cur = kv.second.value();
+        auto it = prevValues.find(kv.first);
+        std::uint64_t prev = it == prevValues.end() ? 0 : it->second;
+        if (cur != prev)
+            s.deltas.emplace_back(kv.first, cur - prev);
+        prevValues[kv.first] = cur;
+    }
+    samples.push_back(std::move(s));
+    if (reschedule)
+        eq.schedule(sampleTicks, [this] { sampleNow(true); });
+}
+
+void
+Tracer::writeSamples()
+{
+    std::ofstream sout(opts.samplePath,
+                       std::ios::binary | std::ios::trunc);
+    if (!sout)
+        fatal("cannot open sample output '%s'", opts.samplePath.c_str());
+
+    bool csv = opts.samplePath.size() >= 4 &&
+               opts.samplePath.compare(opts.samplePath.size() - 4, 4,
+                                       ".csv") == 0;
+    if (csv) {
+        // Columns: simulated ns, then every stat that ever moved.
+        std::set<std::string> cols;
+        for (const auto &s : samples)
+            for (const auto &[name, delta] : s.deltas)
+                cols.insert(name);
+        sout << "ns";
+        for (const auto &c : cols)
+            sout << "," << c;
+        sout << "\n";
+        for (const auto &s : samples) {
+            sout << static_cast<double>(s.at) / ticksPerNs;
+            for (const auto &c : cols) {
+                auto it = std::find_if(
+                    s.deltas.begin(), s.deltas.end(),
+                    [&](const auto &kv) { return kv.first == c; });
+                sout << ","
+                     << (it == s.deltas.end() ? 0 : it->second);
+            }
+            sout << "\n";
+        }
+        return;
+    }
+
+    Json doc = Json::object();
+    doc.set("format", "bvl-stat-samples-v1");
+    doc.set("intervalNs", opts.sampleIntervalNs);
+    Json rows = Json::array();
+    for (const auto &s : samples) {
+        Json row = Json::object();
+        row.set("ns", static_cast<double>(s.at) / ticksPerNs);
+        Json deltas = Json::object();
+        for (const auto &[name, delta] : s.deltas)
+            deltas.set(name, delta);
+        row.set("deltas", std::move(deltas));
+        rows.push(std::move(row));
+    }
+    doc.set("samples", std::move(rows));
+    sout << doc.dump(2) << "\n";
+}
+
+void
+Tracer::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    if (out.is_open()) {
+        out << "]}\n";
+        out.close();
+    }
+    if (sampleTicks != 0) {
+        // Close out the partial final interval so summing every
+        // sample's deltas reproduces the end-of-run stat totals.
+        sampleNow(false);
+        writeSamples();
+    }
+}
+
+} // namespace bvl

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Tracer: streaming Chrome trace-event emitter plus interval stat
+ * sampler.
+ *
+ * One Tracer exists per armed Soc. Components register a named track
+ * (a Perfetto "thread") at wiring time and then emit spans, instants
+ * and async begin/end pairs against that track id from their tick
+ * functions. Every emit call is guarded by the caller's null check on
+ * its `Tracer *`, and cheap category/window filtering happens here, so
+ * armed-but-filtered events cost one mask test.
+ *
+ * Determinism: events are written in emission order, emission order is
+ * simulation order, and the simulation is deterministic — so the trace
+ * file is byte-identical across reruns and across BVL_JOBS (each run
+ * owns its Tracer and its output file; no shared state). Timestamps
+ * are microseconds (the trace-event convention) derived from the
+ * picosecond tick clock; Json prints doubles with %.17g, which
+ * round-trips exactly.
+ *
+ * The stat sampler re-arms a closure event every sampleIntervalNs.
+ * Like the watchdog's check event, that keeps the event queue alive
+ * while the run is in flight — acceptable because runs end on a
+ * done-predicate or the tick limit, not on queue drain (the only
+ * visible effect: a hung run that would have drained dry reports
+ * time_limit rather than deadlock while sampling is armed).
+ */
+
+#ifndef BVL_SIM_TRACE_TRACER_HH
+#define BVL_SIM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/check/json.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/trace/trace.hh"
+#include "sim/types.hh"
+
+namespace bvl
+{
+
+class Tracer
+{
+  public:
+    Tracer(const TraceOptions &opts, EventQueue &eq, StatGroup &stats);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    const TraceOptions &options() const { return opts; }
+
+    /**
+     * Register a named track (rendered as a thread in Perfetto) and
+     * return its id. Call once per track at wiring time; registration
+     * order fixes the deterministic track-id assignment.
+     */
+    unsigned track(const std::string &name);
+
+    /** Is this category armed for event tracing? Callers check this
+     *  before building event arguments. */
+    bool
+    wants(TraceCat c) const
+    {
+        return eventsArmed && (opts.categories & static_cast<unsigned>(c));
+    }
+
+    /** A monotonically increasing id for async begin/end pairing.
+     *  Allocation order is simulation order, hence deterministic. */
+    std::uint64_t nextAsyncId() { return asyncSeq++; }
+
+    /** Complete event ("X"): [start, end) on a track. */
+    void span(TraceCat c, unsigned tid, const char *name,
+              Tick start, Tick end, Json args = Json());
+
+    /** Instant event ("i") at one tick. */
+    void instant(TraceCat c, unsigned tid, const char *name,
+                 Tick at, Json args = Json());
+
+    /** Async lifetime ("b"/"e"); pair via an id from nextAsyncId().
+     *  Use these for overlapping lifetimes (instructions in flight,
+     *  cache misses) that would nest wrongly as complete events. */
+    void asyncBegin(TraceCat c, unsigned tid, const char *name,
+                    std::uint64_t id, Tick at, Json args = Json());
+    void asyncEnd(TraceCat c, unsigned tid, const char *name,
+                  std::uint64_t id, Tick at, Json args = Json());
+
+    /** Arm the periodic stat sampler (no-op without a samplePath). */
+    void startSampling();
+
+    /**
+     * Flush and close both outputs: write the trace footer and the
+     * sample document (including a final partial interval so per-stat
+     * delta sums equal the end-of-run totals). Idempotent; the
+     * destructor calls it as a backstop.
+     */
+    void finish();
+
+  private:
+    bool inWindow(Tick t) const
+    { return t >= startTick && t <= stopTick; }
+
+    void emit(TraceCat c, unsigned tid, const char *name, char ph,
+              Tick at, const Json *dur, const std::uint64_t *id,
+              Json &&args);
+    void writeEvent(const Json &ev);
+    void sampleNow(bool reschedule);
+    void writeSamples();
+
+    TraceOptions opts;
+    EventQueue &eq;
+    StatGroup &stats;
+
+    bool eventsArmed = false;
+    bool finished = false;
+    Tick startTick = 0;
+    Tick stopTick = maxTick;
+    std::ofstream out;
+    bool firstEvent = true;
+    std::uint64_t asyncSeq = 1;
+    unsigned nextTid = 1;
+
+    // --- interval sampler -------------------------------------------
+    struct Sample
+    {
+        Tick at;
+        /** Only stats whose value changed during the interval. */
+        std::vector<std::pair<std::string, std::uint64_t>> deltas;
+    };
+    Tick sampleTicks = 0;
+    std::map<std::string, std::uint64_t> prevValues;
+    std::vector<Sample> samples;
+};
+
+} // namespace bvl
+
+#endif // BVL_SIM_TRACE_TRACER_HH

@@ -48,6 +48,7 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
                 std::make_unique<VEngineParams>(*opts.engineOverride);
         sp.faults = opts.faults;
         sp.check = opts.check;
+        sp.trace = opts.trace;
         soc = std::make_unique<Soc>(std::move(sp));
 
         workload.init(soc->backing);
@@ -165,6 +166,11 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
 
     if (soc) {
         soc->watchdog.disarm();
+        // Flush the trace footer and the final (partial) stat sample
+        // even when the run failed — a truncated-but-valid trace is
+        // exactly what failure forensics wants.
+        if (soc->tracer())
+            soc->tracer()->finish();
         if (!r.ok()) {
             // Forensics capture: final heartbeat table and a last
             // invariant sweep, regardless of how the run failed.

@@ -58,6 +58,12 @@ struct RunOptions
      * report path. Disarmed by default (zero hot-path cost).
      */
     CheckOptions check{};
+    /**
+     * Event tracing and interval stat sampling. Disarmed by default;
+     * arming writes a Chrome-trace/Perfetto JSON (TraceOptions::path)
+     * and/or a stat time series (TraceOptions::samplePath).
+     */
+    TraceOptions trace{};
 };
 
 /** How a run ended; anything but ok is a recoverable failure. */

@@ -111,6 +111,17 @@ Soc::Soc(SocParams params)
         engine->registerInvariants(invariants);
     mem.registerInvariants(invariants);
 
+    if (p.trace.enabled()) {
+        tracerPtr = std::make_unique<Tracer>(p.trace, eq, stats);
+        big->setTracer(tracerPtr.get());
+        for (auto &l : littles)
+            l->setTracer(tracerPtr.get());
+        if (engine)
+            engine->setTracer(tracerPtr.get());
+        mem.setTracer(tracerPtr.get());
+        tracerPtr->startSampling();
+    }
+
     if (p.check.enabled()) {
         checkCtx = std::make_unique<CheckContext>(p.check, stats,
                                                   invariants);

@@ -21,6 +21,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/trace/tracer.hh"
 #include "sim/watchdog.hh"
 
 namespace bvl
@@ -60,6 +61,8 @@ struct SocParams
     FaultSpec faults{};
     /** Online checking (lockstep + invariants); disarmed by default. */
     CheckOptions check{};
+    /** Event tracing / stat sampling; disarmed by default. */
+    TraceOptions trace{};
 };
 
 class Soc
@@ -87,6 +90,9 @@ class Soc
 
     /** The run's check context (null when checking is disarmed). */
     CheckContext *checker() { return checkCtx.get(); }
+
+    /** The run's tracer (null when tracing is disarmed). */
+    Tracer *tracer() { return tracerPtr.get(); }
 
     /** Registered structural invariants (always populated). */
     InvariantRegistry &invariantRegistry() { return invariants; }
@@ -121,6 +127,7 @@ class Soc
     /** Declared after the components its callbacks capture. */
     InvariantRegistry invariants;
     std::unique_ptr<CheckContext> checkCtx;
+    std::unique_ptr<Tracer> tracerPtr;
     SocParams p;
 };
 
