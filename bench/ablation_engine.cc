@@ -20,7 +20,7 @@ void
 sweep(const char *title,
       const std::vector<std::pair<std::string, VEngineParams>> &configs,
       const std::vector<std::string> &apps, Scale scale,
-      SweepRunner &pool)
+      SweepService &pool)
 {
     SweepResults runs(pool);
     for (const auto &name : apps) {
@@ -71,49 +71,52 @@ main()
     printHeader("Ablation: big.VLITTLE design choices "
                 "(1b-4VL speedup over 1L)", scale);
 
-    SweepRunner pool;
-    sweep("chimes x packing (effective VLEN)",
-          {{"1c", withChimes(1, false)},
-           {"1c+sw", withChimes(1, true)},
-           {"2c+sw", withChimes(2, true)},
-           {"4c+sw", withChimes(4, true)}},
-          {"saxpy", "blackscholes", "jacobi-2d", "lavamd"}, scale,
-          pool);
-
-    {
-        std::vector<std::pair<std::string, VEngineParams>> cfgs;
-        for (unsigned depth : {2u, 4u, 8u, 16u, 32u}) {
-            auto p = vlittlePreset();
-            p.cmdQueueDepth = depth;
-            p.uopQueueDepth = 2 * depth;
-            p.vmiuQueueDepth = depth;
-            cfgs.push_back({"cmdq" + std::to_string(depth), p});
-        }
-        sweep("VCU command-queue depth (decoupling from the big core)",
-              cfgs, {"saxpy", "pathfinder", "blackscholes"}, scale,
+    SweepService pool(benchServiceOptions("ablation_engine"));
+    return finishSweep(pool, [&] {
+        sweep("chimes x packing (effective VLEN)",
+              {{"1c", withChimes(1, false)},
+               {"1c+sw", withChimes(1, true)},
+               {"2c+sw", withChimes(2, true)},
+               {"4c+sw", withChimes(4, true)}},
+              {"saxpy", "blackscholes", "jacobi-2d", "lavamd"}, scale,
               pool);
-    }
 
-    {
-        std::vector<std::pair<std::string, VEngineParams>> cfgs;
-        for (unsigned depth : {1u, 2u, 4u, 8u}) {
-            auto p = vlittlePreset();
-            p.laneUopQueueDepth = depth;
-            cfgs.push_back({"laneq" + std::to_string(depth), p});
+        {
+            std::vector<std::pair<std::string, VEngineParams>> cfgs;
+            for (unsigned depth : {2u, 4u, 8u, 16u, 32u}) {
+                auto p = vlittlePreset();
+                p.cmdQueueDepth = depth;
+                p.uopQueueDepth = 2 * depth;
+                p.vmiuQueueDepth = depth;
+                cfgs.push_back({"cmdq" + std::to_string(depth), p});
+            }
+            sweep("VCU command-queue depth (decoupling from the big "
+                  "core)",
+                  cfgs, {"saxpy", "pathfinder", "blackscholes"}, scale,
+                  pool);
         }
-        sweep("lane micro-op queue depth (lock-step slack)", cfgs,
-              {"saxpy", "kmeans", "lavamd"}, scale, pool);
-    }
 
-    {
-        std::vector<std::pair<std::string, VEngineParams>> cfgs;
-        for (unsigned w : {1u, 2u, 4u, 8u}) {
-            auto p = vlittlePreset();
-            p.coalesceWindow = w;
-            cfgs.push_back({"coal" + std::to_string(w), p});
+        {
+            std::vector<std::pair<std::string, VEngineParams>> cfgs;
+            for (unsigned depth : {1u, 2u, 4u, 8u}) {
+                auto p = vlittlePreset();
+                p.laneUopQueueDepth = depth;
+                cfgs.push_back({"laneq" + std::to_string(depth), p});
+            }
+            sweep("lane micro-op queue depth (lock-step slack)", cfgs,
+                  {"saxpy", "kmeans", "lavamd"}, scale, pool);
         }
-        sweep("indexed-access coalescing window (gather-heavy apps)",
-              cfgs, {"lavamd", "particlefilter"}, scale, pool);
-    }
-    return 0;
+
+        {
+            std::vector<std::pair<std::string, VEngineParams>> cfgs;
+            for (unsigned w : {1u, 2u, 4u, 8u}) {
+                auto p = vlittlePreset();
+                p.coalesceWindow = w;
+                cfgs.push_back({"coal" + std::to_string(w), p});
+            }
+            sweep("indexed-access coalescing window (gather-heavy "
+                  "apps)",
+                  cfgs, {"lavamd", "particlefilter"}, scale, pool);
+        }
+    });
 }

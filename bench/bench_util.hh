@@ -1,12 +1,16 @@
 /**
  * @file
  * Shared helpers for the figure-regeneration benches: scale selection
- * (BVL_SCALE=tiny|small|medium), row printing, and the workload lists
- * of the paper's evaluation (Tables IV/V + Ligra suite).
+ * (BVL_SCALE=tiny|small|medium), row printing, the workload lists of
+ * the paper's evaluation (Tables IV/V + Ligra suite), and the
+ * crash-safe sweep-service plumbing every bench shares.
  *
- * All benches submit their full simulation grid to a SweepRunner and
+ * All benches submit their full simulation grid to a SweepService and
  * consume the futures in submission order, so stdout is byte-identical
- * for any BVL_JOBS while the independent simulations run concurrently.
+ * for any BVL_JOBS — and, because completed jobs replay from the
+ * write-ahead journal and result cache, also across kill/resume and
+ * warm reruns (DESIGN.md §14). The sweep summary goes to stderr so it
+ * never perturbs the figure output.
  */
 
 #ifndef BVL_BENCH_BENCH_UTIL_HH
@@ -15,13 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "sim/logging.hh"
 #include "soc/run_driver.hh"
-#include "sweep/sweep_runner.hh"
+#include "sweep/service/service.hh"
 
 namespace bvlbench
 {
@@ -87,6 +92,65 @@ applyTraceEnv(RunOptions &opts, Design d, const std::string &name)
                       "_" + designName(d) + "_" + name + ".json";
 }
 
+/**
+ * Sweep-service configuration shared by every figure bench:
+ *
+ *  - journal: ${BVL_SWEEP_DIR:-.bvl-sweep}/<bench>.journal.jsonl.
+ *    BVL_SWEEP_JOURNAL=0 disables journaling; any other non-"1" value
+ *    overrides the journal path verbatim.
+ *  - cache: BVL_CACHE_DIR (unset = no cache).
+ *  - isolation: BVL_SWEEP_ISOLATE=1 (read by SweepService itself).
+ */
+inline SweepServiceOptions
+benchServiceOptions(const char *benchName)
+{
+    SweepServiceOptions o;
+    const char *j = std::getenv("BVL_SWEEP_JOURNAL");
+    if (j && !std::strcmp(j, "0")) {
+        // Journaling explicitly off.
+    } else if (j && *j && std::strcmp(j, "1") != 0) {
+        o.journalPath = j;
+    } else {
+        const char *dir = std::getenv("BVL_SWEEP_DIR");
+        o.journalPath = std::string(dir && *dir ? dir : ".bvl-sweep") +
+                        "/" + benchName + ".journal.jsonl";
+    }
+    if (const char *c = std::getenv("BVL_CACHE_DIR"); c && *c)
+        o.cacheDir = c;
+    return o;
+}
+
+/**
+ * Run a bench body under graceful-stop supervision: installs the
+ * SIGINT/SIGTERM handlers, translates SweepInterrupted into the
+ * distinct resumable exit code (75), and prints the machine-readable
+ * sweep summary plus any quarantine records to stderr — stdout stays
+ * byte-identical across cold, warm, and kill/resume runs.
+ */
+inline int
+finishSweep(SweepService &svc, const std::function<void()> &body)
+{
+    SweepService::installSignalHandlers();
+    bool interrupted = false;
+    try {
+        body();
+    } catch (const SweepInterrupted &e) {
+        interrupted = true;
+        std::fprintf(stderr, "bvl-sweep: %s\n", e.what());
+    }
+    std::fflush(stdout);
+    for (const auto &q : svc.quarantined())
+        std::fprintf(stderr,
+                     "bvl-sweep-quarantined: %s on %s: %s after %u "
+                     "attempt(s)%s%s\n",
+                     q.workload.c_str(), q.design.c_str(),
+                     runStatusName(q.status), q.attempts,
+                     q.forensicsPath.empty() ? "" : "; forensics at ",
+                     q.forensicsPath.c_str());
+    std::fprintf(stderr, "%s\n", svc.summaryLine().c_str());
+    return interrupted ? exitResumable : 0;
+}
+
 /** Report a failed run while consuming sweep results. */
 inline RunResult
 checkResult(RunResult r)
@@ -115,7 +179,7 @@ runChecked(Design d, const std::string &name, Scale scale,
 class SweepResults
 {
   public:
-    explicit SweepResults(SweepRunner &pool) : pool(pool) {}
+    explicit SweepResults(SweepService &pool) : pool(pool) {}
 
     void
     push(Design d, const std::string &name, Scale scale,
@@ -135,7 +199,7 @@ class SweepResults
     }
 
   private:
-    SweepRunner &pool;
+    SweepService &pool;
     std::vector<std::future<RunResult>> futures;
     std::size_t next = 0;
 };

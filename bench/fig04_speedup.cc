@@ -18,7 +18,7 @@ namespace
 
 void
 runSuite(const char *label, const std::vector<std::string> &names,
-         Scale scale, SweepRunner &pool)
+         Scale scale, SweepService &pool)
 {
     const Design designs[] = {Design::d1b, Design::d1bIV, Design::d1b4L,
                               Design::d1bIV4L, Design::d1bDV,
@@ -77,10 +77,12 @@ main()
 {
     setVerbose(false);
     Scale scale = chosenScale(Scale::small);
-    SweepRunner pool;
+    SweepService pool(benchServiceOptions("fig04_speedup"));
     printHeader("Figure 4: speedup over 1L", scale);
-    runSuite("task-parallel (Ligra)", taskParallelNames(), scale, pool);
-    runSuite("data-parallel (kernels + apps)", dataParallelNames(),
-             scale, pool);
-    return 0;
+    return finishSweep(pool, [&] {
+        runSuite("task-parallel (Ligra)", taskParallelNames(), scale,
+                 pool);
+        runSuite("data-parallel (kernels + apps)", dataParallelNames(),
+                 scale, pool);
+    });
 }

@@ -20,22 +20,23 @@ main()
 
     const Design designs[] = {Design::d1bIV4L, Design::d1bDV,
                               Design::d1b4VL};
-    SweepRunner pool;
-    SweepResults runs(pool);
-    for (const auto &name : dataParallelNames())
-        for (Design d : designs)
-            runs.push(d, name, scale);
+    SweepService pool(benchServiceOptions("fig06_dreq"));
+    return finishSweep(pool, [&] {
+        SweepResults runs(pool);
+        for (const auto &name : dataParallelNames())
+            for (Design d : designs)
+                runs.push(d, name, scale);
 
-    std::printf("%-14s %10s %10s %10s\n", "workload", "1bIV-4L", "1bDV",
-                "1b-4VL");
-    for (const auto &name : dataParallelNames()) {
-        double vals[3];
-        for (int i = 0; i < 3; ++i)
-            vals[i] = static_cast<double>(runs.pop().dataReqs);
-        double base = vals[1] > 0 ? vals[1] : 1.0;
-        std::printf("%-14s %10.2f %10.2f %10.2f\n", name.c_str(),
-                    vals[0] / base, vals[1] / base, vals[2] / base);
-        std::fflush(stdout);
-    }
-    return 0;
+        std::printf("%-14s %10s %10s %10s\n", "workload", "1bIV-4L",
+                    "1bDV", "1b-4VL");
+        for (const auto &name : dataParallelNames()) {
+            double vals[3];
+            for (int i = 0; i < 3; ++i)
+                vals[i] = static_cast<double>(runs.pop().dataReqs);
+            double base = vals[1] > 0 ? vals[1] : 1.0;
+            std::printf("%-14s %10.2f %10.2f %10.2f\n", name.c_str(),
+                        vals[0] / base, vals[1] / base, vals[2] / base);
+            std::fflush(stdout);
+        }
+    });
 }

@@ -22,7 +22,7 @@ const char *causes[] = {"busy", "simd", "raw_mem", "raw_llfu", "struct",
 
 void
 runConfig(const char *label, const VEngineParams &ep, Scale scale,
-          SweepRunner &pool)
+          SweepService &pool)
 {
     SweepResults runs(pool);
     for (const auto &name : dataParallelNames()) {
@@ -77,9 +77,10 @@ main()
     VEngineParams oneChimePacked = vlittlePreset();
     oneChimePacked.chimes = 1;
 
-    SweepRunner pool;
-    runConfig("1c", oneChime, scale, pool);
-    runConfig("1c+sw", oneChimePacked, scale, pool);
-    runConfig("2c+sw", vlittlePreset(), scale, pool);
-    return 0;
+    SweepService pool(benchServiceOptions("fig07_breakdown"));
+    return finishSweep(pool, [&] {
+        runConfig("1c", oneChime, scale, pool);
+        runConfig("1c+sw", oneChimePacked, scale, pool);
+        runConfig("2c+sw", vlittlePreset(), scale, pool);
+    });
 }

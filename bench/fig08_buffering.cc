@@ -26,38 +26,39 @@ main()
                                            "pathfinder", "backprop",
                                            "jacobi-2d", "kmeans"};
 
-    SweepRunner pool;
-    SweepResults runs(pool);
-    for (const auto &name : apps) {
-        runs.push(Design::d1L, name, scale);
-        for (unsigned d : depths) {
-            VEngineParams ep = vlittlePreset();
-            ep.loadQueueLines = d;
-            ep.storeQueueLines = d;
-            RunOptions opts;
-            opts.engineOverride = ep;
-            runs.push(Design::d1b4VL, name, scale, opts);
+    SweepService pool(benchServiceOptions("fig08_buffering"));
+    return finishSweep(pool, [&] {
+        SweepResults runs(pool);
+        for (const auto &name : apps) {
+            runs.push(Design::d1L, name, scale);
+            for (unsigned d : depths) {
+                VEngineParams ep = vlittlePreset();
+                ep.loadQueueLines = d;
+                ep.storeQueueLines = d;
+                RunOptions opts;
+                opts.engineOverride = ep;
+                runs.push(Design::d1b4VL, name, scale, opts);
+            }
         }
-    }
 
-    std::printf("%-14s", "workload");
-    for (unsigned d : depths)
-        std::printf(" %7u", d);
-    std::printf("\n");
-
-    for (const auto &name : apps) {
-        auto base = runs.pop();
-        std::printf("%-14s", name.c_str());
-        for (unsigned d : depths) {
-            (void)d;
-            auto r = runs.pop();
-            if (double s = speedupOf(base, r))
-                std::printf(" %7.2f", s);
-            else
-                std::printf(" %7s", runStatusName(r.status));
-            std::fflush(stdout);
-        }
+        std::printf("%-14s", "workload");
+        for (unsigned d : depths)
+            std::printf(" %7u", d);
         std::printf("\n");
-    }
-    return 0;
+
+        for (const auto &name : apps) {
+            auto base = runs.pop();
+            std::printf("%-14s", name.c_str());
+            for (unsigned d : depths) {
+                (void)d;
+                auto r = runs.pop();
+                if (double s = speedupOf(base, r))
+                    std::printf(" %7.2f", s);
+                else
+                    std::printf(" %7s", runStatusName(r.status));
+                std::fflush(stdout);
+            }
+            std::printf("\n");
+        }
+    });
 }

@@ -66,17 +66,18 @@ main()
     printHeader("Figure 9: V/f scaling heat maps for 1bIV-4L and "
                 "1b-4VL", scale);
 
-    SweepRunner pool;
-    SweepResults runs(pool);
-    for (const auto &name : dataParallelNames()) {
-        runs.push(Design::d1L, name, scale);
-        submitHeatmap(Design::d1bIV4L, name, scale, runs);
-        submitHeatmap(Design::d1b4VL, name, scale, runs);
-    }
-    for (const auto &name : dataParallelNames()) {
-        auto base = runs.pop();
-        printHeatmap(Design::d1bIV4L, name, base, runs);
-        printHeatmap(Design::d1b4VL, name, base, runs);
-    }
-    return 0;
+    SweepService pool(benchServiceOptions("fig09_dvfs_heatmap"));
+    return finishSweep(pool, [&] {
+        SweepResults runs(pool);
+        for (const auto &name : dataParallelNames()) {
+            runs.push(Design::d1L, name, scale);
+            submitHeatmap(Design::d1bIV4L, name, scale, runs);
+            submitHeatmap(Design::d1b4VL, name, scale, runs);
+        }
+        for (const auto &name : dataParallelNames()) {
+            auto base = runs.pop();
+            printHeatmap(Design::d1bIV4L, name, base, runs);
+            printHeatmap(Design::d1b4VL, name, base, runs);
+        }
+    });
 }

@@ -22,47 +22,50 @@ main()
     const Design designs[] = {Design::d1b4L, Design::d1bIV4L,
                               Design::d1bDV, Design::d1b4VL};
 
-    SweepRunner pool;
-    SweepResults runs(pool);
-    for (const auto &name : dataParallelNames()) {
-        for (Design d : designs) {
-            for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
-                // 1bDV has no little cluster: sweep big levels only.
-                unsigned lcount = d == Design::d1bDV
-                    ? 1u : static_cast<unsigned>(littleLevels.size());
-                for (unsigned li = 0; li < lcount; ++li) {
-                    RunOptions opts;
-                    opts.bigGhz = bigLevels[bi].freqGhz;
-                    opts.littleGhz = littleLevels[li].freqGhz;
-                    runs.push(d, name, scale, opts);
+    SweepService pool(benchServiceOptions("fig11_design_pareto"));
+    return finishSweep(pool, [&] {
+        SweepResults runs(pool);
+        for (const auto &name : dataParallelNames()) {
+            for (Design d : designs) {
+                for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+                    // 1bDV has no little cluster: big levels only.
+                    unsigned lcount = d == Design::d1bDV
+                        ? 1u
+                        : static_cast<unsigned>(littleLevels.size());
+                    for (unsigned li = 0; li < lcount; ++li) {
+                        RunOptions opts;
+                        opts.bigGhz = bigLevels[bi].freqGhz;
+                        opts.littleGhz = littleLevels[li].freqGhz;
+                        runs.push(d, name, scale, opts);
+                    }
                 }
             }
         }
-    }
 
-    for (const auto &name : dataParallelNames()) {
-        std::printf("\n%s\n", name.c_str());
-        for (Design d : designs) {
-            std::vector<PerfPowerPoint> points;
-            for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
-                unsigned lcount = d == Design::d1bDV
-                    ? 1u : static_cast<unsigned>(littleLevels.size());
-                for (unsigned li = 0; li < lcount; ++li) {
-                    auto r = runs.pop();
-                    if (!usable(r))
-                        continue;   // runChecked already warned
-                    points.push_back(
-                        {bi, li, r.ns,
-                         systemPowerW(d, bigLevels[bi],
-                                      littleLevels[li])});
+        for (const auto &name : dataParallelNames()) {
+            std::printf("\n%s\n", name.c_str());
+            for (Design d : designs) {
+                std::vector<PerfPowerPoint> points;
+                for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+                    unsigned lcount = d == Design::d1bDV
+                        ? 1u
+                        : static_cast<unsigned>(littleLevels.size());
+                    for (unsigned li = 0; li < lcount; ++li) {
+                        auto r = runs.pop();
+                        if (!usable(r))
+                            continue;   // runChecked already warned
+                        points.push_back(
+                            {bi, li, r.ns,
+                             systemPowerW(d, bigLevels[bi],
+                                          littleLevels[li])});
+                    }
                 }
+                std::printf("  %-8s frontier:", designName(d));
+                for (const auto &f : paretoFrontier(points))
+                    std::printf("  (%.3fW, %.0fns)", f.watts, f.ns);
+                std::printf("\n");
+                std::fflush(stdout);
             }
-            std::printf("  %-8s frontier:", designName(d));
-            for (const auto &f : paretoFrontier(points))
-                std::printf("  (%.3fW, %.0fns)", f.watts, f.ns);
-            std::printf("\n");
-            std::fflush(stdout);
         }
-    }
-    return 0;
+    });
 }

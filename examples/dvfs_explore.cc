@@ -7,16 +7,18 @@
  * little cluster.
  *
  * The 16 V/f points are independent simulations, so they run through
- * the parallel sweep runner (BVL_JOBS threads).
+ * the crash-safe sweep service (BVL_JOBS threads; journal/cache via
+ * BVL_SWEEP_DIR / BVL_CACHE_DIR).
  *
  *   $ ./example_dvfs_explore [workload]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 
 #include "power/power_model.hh"
-#include "sweep/sweep_runner.hh"
+#include "sweep/service/service.hh"
 
 using namespace bvl;
 
@@ -26,7 +28,15 @@ main(int argc, char **argv)
     setVerbose(false);
     std::string name = argc > 1 ? argv[1] : "blackscholes";
 
-    SweepRunner pool;
+    SweepServiceOptions sopts;
+    const char *sweepDir = std::getenv("BVL_SWEEP_DIR");
+    sopts.journalPath =
+        std::string(sweepDir && *sweepDir ? sweepDir : ".bvl-sweep") +
+        "/dvfs_explore.journal.jsonl";
+    if (const char *c = std::getenv("BVL_CACHE_DIR"); c && *c)
+        sopts.cacheDir = c;
+    SweepService pool(sopts);
+    SweepService::installSignalHandlers();
     std::vector<std::future<RunResult>> futures;
     for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
         for (unsigned li = 0; li < littleLevels.size(); ++li) {
@@ -40,19 +50,26 @@ main(int argc, char **argv)
 
     std::vector<PerfPowerPoint> points;
     auto fut = futures.begin();
-    for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
-        for (unsigned li = 0; li < littleLevels.size(); ++li) {
-            auto r = (fut++)->get();
-            if (!r.finished)
-                continue;
-            points.push_back({bi, li, r.ns,
-                              systemPowerW(Design::d1b4VL,
-                                           bigLevels[bi],
-                                           littleLevels[li])});
-            std::printf("big=%s little=%s  time=%9.0f ns  power=%.3f W\n",
-                        bigLevels[bi].name, littleLevels[li].name, r.ns,
-                        points.back().watts);
+    try {
+        for (unsigned bi = 0; bi < bigLevels.size(); ++bi) {
+            for (unsigned li = 0; li < littleLevels.size(); ++li) {
+                auto r = (fut++)->get();
+                if (!r.finished)
+                    continue;
+                points.push_back({bi, li, r.ns,
+                                  systemPowerW(Design::d1b4VL,
+                                               bigLevels[bi],
+                                               littleLevels[li])});
+                std::printf(
+                    "big=%s little=%s  time=%9.0f ns  power=%.3f W\n",
+                    bigLevels[bi].name, littleLevels[li].name, r.ns,
+                    points.back().watts);
+            }
         }
+    } catch (const SweepInterrupted &e) {
+        // Completed V/f points are journaled; a rerun resumes.
+        std::fprintf(stderr, "%s\n", e.what());
+        return exitResumable;
     }
 
     std::printf("\nPareto-optimal points for %s on 1b-4VL:\n",
@@ -61,5 +78,6 @@ main(int argc, char **argv)
         std::printf("  big=%s little=%s  time=%9.0f ns  power=%.3f W\n",
                     bigLevels[f.bigLevel].name,
                     littleLevels[f.littleLevel].name, f.ns, f.watts);
+    std::fprintf(stderr, "%s\n", pool.summaryLine().c_str());
     return 0;
 }

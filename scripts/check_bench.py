@@ -29,23 +29,78 @@ import sys
 GATED = ["BM_CacheHitPath", "BM_TickChurn", "BM_StatIncrement"]
 
 
+class GateInputError(Exception):
+    """A baseline/results file is unusable; message says how and what
+    to do about it."""
+
+
+def load_json_doc(path, role, hint):
+    """Parse @path as a JSON object, or raise one actionable error.
+
+    A missing, truncated, or non-JSON file (a killed benchmark run, a
+    bad --results path, an unpulled baseline) must produce a one-line
+    diagnosis and a nonzero exit, not a traceback.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise GateInputError("%s file %s does not exist; %s"
+                             % (role, path, hint))
+    except json.JSONDecodeError as e:
+        raise GateInputError("%s file %s is not valid JSON (%s) — "
+                             "truncated or corrupt? %s"
+                             % (role, path, e, hint))
+    except OSError as e:
+        raise GateInputError("%s file %s is unreadable (%s); %s"
+                             % (role, path, e.strerror, hint))
+    if not isinstance(doc, dict):
+        raise GateInputError("%s file %s is JSON but not an object "
+                             "(got %s); %s"
+                             % (role, path, type(doc).__name__, hint))
+    return doc
+
+
 def load_baseline(path):
     """name -> cpu_ns from a BENCH_kernel.json document."""
-    with open(path) as f:
-        doc = json.load(f)
-    return {name: entry["cpu_ns"]
-            for name, entry in doc.get("microbenchmarks", {}).items()}
+    doc = load_json_doc(path, "baseline",
+                        "regenerate with scripts/bench.sh --update")
+    micro = doc.get("microbenchmarks")
+    if not isinstance(micro, dict) or not micro:
+        raise GateInputError("baseline file %s has no 'microbenchmarks' "
+                             "object; regenerate with scripts/bench.sh "
+                             "--update" % path)
+    try:
+        return {name: entry["cpu_ns"] for name, entry in micro.items()}
+    except (TypeError, KeyError):
+        raise GateInputError("baseline file %s: entries lack 'cpu_ns'; "
+                             "regenerate with scripts/bench.sh --update"
+                             % path)
 
 
 def load_results(path):
     """name -> cpu_ns from google-benchmark --benchmark_out JSON."""
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json_doc(path, "results",
+                        "rerun the microbenchmark with "
+                        "--benchmark_out=<path>")
     out = {}
     for b in doc.get("benchmarks", []):
+        if not isinstance(b, dict):
+            continue
         if b.get("run_type", "iteration") != "iteration":
             continue
-        out[b["name"]] = b["cpu_time"]
+        try:
+            out[b["name"]] = b["cpu_time"]
+        except KeyError:
+            raise GateInputError("results file %s: benchmark entry "
+                                 "lacks name/cpu_time; rerun the "
+                                 "microbenchmark with "
+                                 "--benchmark_out=<path>" % path)
+    if not out:
+        raise GateInputError("results file %s contains no iteration "
+                             "benchmarks — interrupted run? rerun the "
+                             "microbenchmark with "
+                             "--benchmark_out=<path>" % path)
     return out
 
 
@@ -106,6 +161,38 @@ def self_test():
     assert not failures
     assert all("improved" in l for l in lines)
 
+    # Broken input files: one actionable error each, never a traceback.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        cases = [
+            (os.path.join(tmp, "absent.json"), None, "does not exist"),
+            (os.path.join(tmp, "torn.json"), '{"benchmarks": [{"na',
+             "not valid JSON"),
+            (os.path.join(tmp, "scalar.json"), "42", "not an object"),
+            (os.path.join(tmp, "empty.json"), '{"benchmarks": []}',
+             "no iteration benchmarks"),
+        ]
+        for path, content, expect in cases:
+            if content is not None:
+                with open(path, "w") as f:
+                    f.write(content)
+            try:
+                load_results(path)
+            except GateInputError as e:
+                assert expect in str(e), \
+                    "wrong diagnosis for %s: %s" % (path, e)
+            else:
+                assert False, "%s must be rejected" % path
+        bad_base = os.path.join(tmp, "base.json")
+        with open(bad_base, "w") as f:
+            f.write('{"something_else": {}}')
+        try:
+            load_baseline(bad_base)
+        except GateInputError as e:
+            assert "microbenchmarks" in str(e)
+        else:
+            assert False, "baseline without microbenchmarks must fail"
+
     print("check_bench.py self-test: all cases behaved")
     return 0
 
@@ -136,8 +223,12 @@ def main():
         ap.error("--results is required (or use --self-test)")
 
     benches = [b for b in args.benches.split(",") if b]
-    baseline = load_baseline(args.baseline)
-    results = load_results(args.results)
+    try:
+        baseline = load_baseline(args.baseline)
+        results = load_results(args.results)
+    except GateInputError as e:
+        print("bench gate: ERROR: %s" % e, file=sys.stderr)
+        return 1
     failures, lines = compare(baseline, results, args.tolerance, benches)
 
     print("bench gate: tolerance %.0f%%, baseline %s"

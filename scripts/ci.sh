@@ -5,7 +5,9 @@
 # ThreadSanitizer to check the parallel sweep runner and the library's
 # re-entrancy guarantees, smoke the failure-forensics pipeline
 # (deliberately fatal fault plan -> JSON report -> plan minimizer),
-# and gate the kernel microbenchmarks against the pinned baseline
+# smoke the sweep service's crash safety (kill -9/resume, cache
+# poisoning, isolation, SIGINT; scripts/sweep_smoke.sh), and gate the
+# kernel microbenchmarks against the pinned baseline
 # (scripts/check_bench.py).
 #
 # Suites are selected with ctest labels (see tests/CMakeLists.txt):
@@ -43,17 +45,24 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "=== parallel sweep determinism (BVL_JOBS=1 vs 4) ==="
-BVL_SCALE=tiny BVL_JOBS=1 ./build/bench/fig04_speedup > build/fig04.j1
-BVL_SCALE=tiny BVL_JOBS=4 ./build/bench/fig04_speedup > build/fig04.j4
+# Separate BVL_SWEEP_DIR per run: the point is comparing two *live*
+# sweeps, not a sweep against its own journal replay.
+rm -rf build/sweep.j1 build/sweep.j4
+BVL_SCALE=tiny BVL_JOBS=1 BVL_SWEEP_DIR=build/sweep.j1 \
+    ./build/bench/fig04_speedup > build/fig04.j1
+BVL_SCALE=tiny BVL_JOBS=4 BVL_SWEEP_DIR=build/sweep.j4 \
+    ./build/bench/fig04_speedup > build/fig04.j4
 cmp build/fig04.j1 build/fig04.j4
 echo "fig04_speedup output is byte-identical across thread counts"
 
 echo "=== armed-trace determinism (BVL_TRACE_DIR, BVL_JOBS=1 vs 4) ==="
-rm -rf build/traces.j1 build/traces.j4
+rm -rf build/traces.j1 build/traces.j4 build/sweep.tj1 build/sweep.tj4
 mkdir -p build/traces.j1 build/traces.j4
 BVL_SCALE=tiny BVL_JOBS=1 BVL_TRACE_DIR=build/traces.j1 \
+    BVL_SWEEP_DIR=build/sweep.tj1 \
     ./build/bench/fig04_speedup > build/fig04.traced.j1
 BVL_SCALE=tiny BVL_JOBS=4 BVL_TRACE_DIR=build/traces.j4 \
+    BVL_SWEEP_DIR=build/sweep.tj4 \
     ./build/bench/fig04_speedup > build/fig04.traced.j4
 cmp build/fig04.j1 build/fig04.traced.j1   # tracing never perturbs
 diff <(cd build/traces.j1 && md5sum *.json) \
@@ -62,6 +71,9 @@ python3 scripts/pipeview.py \
     "$(ls build/traces.j1/*_1b-4VL_saxpy.json | head -1)" \
     --track vcu --limit 5 >/dev/null
 echo "traces are byte-identical across thread counts"
+
+echo "=== sweep-service crash safety (kill/resume, cache poisoning) ==="
+scripts/sweep_smoke.sh build build/sweep-smoke
 
 echo "=== kernel microbenchmark gate (Release) ==="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "soc/run_io.hh"
 
 namespace bvl
 {
@@ -50,114 +51,6 @@ parseFaultKind(const std::string &name)
         if (name == faultKindName(k))
             return k;
     fatal("replay recipe: unknown fault kind '%s'", name.c_str());
-}
-
-Json
-checkOptionsToJson(const CheckOptions &c)
-{
-    Json j = Json::object();
-    j.set("lockstep", c.lockstep);
-    j.set("invariants", c.invariants);
-    j.set("retireContext", c.retireContext);
-    j.set("invariantPeriod", c.invariantPeriod);
-    j.set("forensicsPath", c.forensicsPath);
-    return j;
-}
-
-CheckOptions
-checkOptionsFromJson(const Json &j)
-{
-    CheckOptions c;
-    if (j.isNull())
-        return c;
-    if (j.has("lockstep"))
-        c.lockstep = j["lockstep"].asBool();
-    if (j.has("invariants"))
-        c.invariants = j["invariants"].asBool();
-    if (j.has("retireContext"))
-        c.retireContext =
-            static_cast<unsigned>(j["retireContext"].asU64());
-    if (j.has("invariantPeriod"))
-        c.invariantPeriod =
-            static_cast<unsigned>(j["invariantPeriod"].asU64());
-    if (j.has("forensicsPath"))
-        c.forensicsPath = j["forensicsPath"].asString();
-    return c;
-}
-
-Json
-traceOptionsToJson(const TraceOptions &t)
-{
-    Json j = Json::object();
-    j.set("path", t.path);
-    j.set("samplePath", t.samplePath);
-    j.set("startNs", t.startNs);
-    j.set("stopNs", t.stopNs);
-    j.set("categories", static_cast<std::uint64_t>(t.categories));
-    j.set("sampleIntervalNs", t.sampleIntervalNs);
-    return j;
-}
-
-TraceOptions
-traceOptionsFromJson(const Json &j)
-{
-    TraceOptions t;
-    if (j.isNull())
-        return t;
-    if (j.has("path"))
-        t.path = j["path"].asString();
-    if (j.has("samplePath"))
-        t.samplePath = j["samplePath"].asString();
-    if (j.has("startNs"))
-        t.startNs = j["startNs"].asDouble();
-    if (j.has("stopNs"))
-        t.stopNs = j["stopNs"].asDouble();
-    if (j.has("categories"))
-        t.categories = static_cast<unsigned>(j["categories"].asU64());
-    if (j.has("sampleIntervalNs"))
-        t.sampleIntervalNs = j["sampleIntervalNs"].asDouble();
-    return t;
-}
-
-Json
-runOptionsToJson(const RunOptions &o)
-{
-    Json j = Json::object();
-    j.set("bigGhz", o.bigGhz);
-    j.set("littleGhz", o.littleGhz);
-    j.set("limitNs", o.limitNs);
-    j.set("verifyResult", o.verifyResult);
-    j.set("watchdog", o.watchdog);
-    j.set("watchdogIntervalNs", o.watchdogIntervalNs);
-    j.set("faults", faultSpecToJson(o.faults));
-    j.set("check", checkOptionsToJson(o.check));
-    j.set("trace", traceOptionsToJson(o.trace));
-    return j;
-}
-
-RunOptions
-runOptionsFromJson(const Json &j)
-{
-    RunOptions o;
-    if (j.isNull())
-        return o;
-    if (j.has("bigGhz"))
-        o.bigGhz = j["bigGhz"].asDouble();
-    if (j.has("littleGhz"))
-        o.littleGhz = j["littleGhz"].asDouble();
-    if (j.has("limitNs"))
-        o.limitNs = j["limitNs"].asDouble();
-    if (j.has("verifyResult"))
-        o.verifyResult = j["verifyResult"].asBool();
-    if (j.has("watchdog"))
-        o.watchdog = j["watchdog"].asBool();
-    if (j.has("watchdogIntervalNs"))
-        o.watchdogIntervalNs = j["watchdogIntervalNs"].asDouble();
-    o.faults = faultSpecFromJson(j["faults"]);
-    o.check = checkOptionsFromJson(j["check"]);
-    if (j.has("trace"))
-        o.trace = traceOptionsFromJson(j["trace"]);
-    return o;
 }
 
 } // namespace
@@ -265,37 +158,9 @@ buildFailureReport(const RunResult &r, const ReplayRecipe &recipe)
     j.set("verified", r.verified);
     j.set("ns", r.ns);
 
-    Json beats = Json::array();
-    for (const auto &hb : r.heartbeats) {
-        Json b = Json::object();
-        b.set("name", hb.name);
-        b.set("progress", hb.progress);
-        b.set("lastAdvance", hb.lastAdvance);
-        b.set("detail", hb.detail);
-        beats.push(std::move(b));
-    }
-    j.set("heartbeats", std::move(beats));
-
-    if (r.divergence) {
-        const DivergenceRecord &d = *r.divergence;
-        Json dv = Json::object();
-        dv.set("stream", d.stream);
-        dv.set("seq", d.seq);
-        dv.set("tick", d.tick);
-        dv.set("instr", d.instr);
-        dv.set("field", d.field);
-        dv.set("timedValue", d.timedValue);
-        dv.set("refValue", d.refValue);
-        dv.set("chime", d.chime);
-        dv.set("queueContext", d.queueContext);
-        Json hist = Json::array();
-        for (const auto &line : d.lastRetires)
-            hist.push(line);
-        dv.set("lastRetires", std::move(hist));
-        j.set("divergence", std::move(dv));
-    } else {
-        j.set("divergence", Json());
-    }
+    j.set("heartbeats", heartbeatsToJson(r.heartbeats));
+    j.set("divergence",
+          r.divergence ? divergenceToJson(*r.divergence) : Json());
 
     j.set("invariantViolations", r.invariantViolations);
     j.set("log", r.log);

@@ -9,9 +9,9 @@
  * table, queue occupancies, the first lockstep divergence if one was
  * caught, the captured diagnostic log, and a replay recipe. Feeding
  * the recipe back through runReplay() re-executes the identical
- * deterministic run (the engine-parameter override of Figure 7/8
- * sweeps is the one RunOptions field that is not serialized; replay
- * uses the design's default preset).
+ * deterministic run; every RunOptions field round-trips, including
+ * the engine-parameter override of the Figure 7/8 sweeps (see
+ * soc/run_io.hh, which owns the serialization).
  */
 
 #ifndef BVL_SIM_CHECK_FORENSICS_HH

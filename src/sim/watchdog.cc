@@ -22,6 +22,7 @@ Watchdog::arm()
         return;
     bvl_assert(_interval > 0, "watchdog interval must be positive");
     _armed = true;
+    wallStart = std::chrono::steady_clock::now();
     lastAnyAdvance = eq.now();
     for (auto &src : sources) {
         src.lastValue = src.progress ? src.progress() : 0;
@@ -91,6 +92,17 @@ Watchdog::check()
     if (!_armed)
         return;
     ++_checks;
+
+    if (_wallDeadlineSec > 0.0) {
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - wallStart;
+        if (elapsed.count() >= _wallDeadlineSec) {
+            warn("watchdog: wall-clock deadline (%g s) exceeded after "
+                 "%g s", _wallDeadlineSec, elapsed.count());
+            throw WallDeadlineError(
+                "wall-clock deadline exceeded\n" + report());
+        }
+    }
 
     Tick now = eq.now();
     bool any = false;

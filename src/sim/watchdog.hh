@@ -24,6 +24,7 @@
 #ifndef BVL_SIM_WATCHDOG_HH
 #define BVL_SIM_WATCHDOG_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -38,6 +39,18 @@ namespace bvl
 
 /** Thrown from the watchdog check event when no progress is seen. */
 class DeadlockError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * Thrown from the watchdog check event when the run's wall-clock
+ * (host-time) budget expired. Distinct from DeadlockError: the sim
+ * may be making progress, just not fast enough for the caller — the
+ * sweep service maps it to RunStatus::deadline and may retry.
+ */
+class WallDeadlineError : public SimError
 {
   public:
     using SimError::SimError;
@@ -86,6 +99,19 @@ class Watchdog
 
     Tick interval() const { return _interval; }
 
+    /**
+     * Wall-clock budget for the run in seconds; 0 disables. The clock
+     * starts at arm(); each periodic check event compares host time
+     * elapsed since then and throws WallDeadlineError once the budget
+     * is exhausted. Granularity is therefore one check interval of
+     * *simulated* time — a simulation that stops scheduling events
+     * entirely still needs an external supervisor (the sweep service's
+     * subprocess mode kills such workers from the parent).
+     */
+    void setWallDeadline(double seconds) { _wallDeadlineSec = seconds; }
+
+    double wallDeadline() const { return _wallDeadlineSec; }
+
     /** Number of check events that have fired (tests). */
     std::uint64_t checksRun() const { return _checks; }
 
@@ -128,6 +154,8 @@ class Watchdog
     Tick _interval;
     bool _armed = false;
     bool checkPending = false;
+    double _wallDeadlineSec = 0.0;
+    std::chrono::steady_clock::time_point wallStart{};
     Tick lastAnyAdvance = 0;
     std::uint64_t _checks = 0;
     std::vector<Source> sources;

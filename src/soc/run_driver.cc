@@ -17,8 +17,24 @@ runStatusName(RunStatus s)
       case RunStatus::verify_failed: return "verify_failed";
       case RunStatus::sim_error: return "sim_error";
       case RunStatus::check_failed: return "check_failed";
+      case RunStatus::deadline: return "deadline";
+      case RunStatus::worker_lost: return "worker_lost";
     }
     return "?";
+}
+
+RunStatus
+runStatusFromName(const std::string &name)
+{
+    for (RunStatus s :
+         {RunStatus::ok, RunStatus::time_limit, RunStatus::deadlock,
+          RunStatus::verify_failed, RunStatus::sim_error,
+          RunStatus::check_failed, RunStatus::deadline,
+          RunStatus::worker_lost}) {
+        if (name == runStatusName(s))
+            return s;
+    }
+    fatal("unknown run status '%s'", name.c_str());
 }
 
 RunResult
@@ -120,9 +136,12 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
                          onDone);
         }
 
-        if (opts.watchdog) {
+        // A wall-clock deadline rides on the watchdog's periodic check
+        // events, so setting one arms the watchdog unconditionally.
+        if (opts.watchdog || opts.wallDeadlineSec > 0.0) {
             soc->watchdog.setInterval(static_cast<Tick>(
                 opts.watchdogIntervalNs * ticksPerNs));
+            soc->watchdog.setWallDeadline(opts.wallDeadlineSec);
             soc->watchdog.arm();
         }
 
@@ -156,6 +175,9 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
         r.message = e.what();
         if (e.hasDivergence())
             r.divergence = e.divergence();
+    } catch (const WallDeadlineError &e) {
+        r.status = RunStatus::deadline;
+        r.message = e.what();
     } catch (const DeadlockError &e) {
         r.status = RunStatus::deadlock;
         r.message = e.what();

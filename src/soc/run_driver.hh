@@ -50,6 +50,14 @@ struct RunOptions
     bool watchdog = true;
     /** No-progress window before the watchdog declares deadlock. */
     double watchdogIntervalNs = 100000.0;
+    /**
+     * Wall-clock (host-time) budget for the run in seconds; 0 disables.
+     * Enforced at watchdog check events (the watchdog is armed when a
+     * deadline is set, even with watchdog == false); an expired budget
+     * ends the run with RunStatus::deadline. Host-time-dependent, so
+     * it is excluded from the sweep service's job identity hash.
+     */
+    double wallDeadlineSec = 0.0;
     /** Deterministic fault-injection plan (disabled by default). */
     FaultSpec faults{};
     /**
@@ -75,9 +83,13 @@ enum class RunStatus
     verify_failed,  ///< completed but produced a wrong result
     sim_error,      ///< a model invariant tripped (panic/fatal)
     check_failed,   ///< online checker caught a divergence/violation
+    deadline,       ///< RunOptions::wallDeadlineSec host-time budget hit
+    worker_lost,    ///< isolated sweep worker died (signal/short read)
 };
 
 const char *runStatusName(RunStatus s);
+/** Inverse of runStatusName(); throws SimFatalError on unknown names. */
+RunStatus runStatusFromName(const std::string &name);
 
 struct RunResult
 {

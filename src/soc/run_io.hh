@@ -1,0 +1,45 @@
+/**
+ * @file
+ * JSON round-trip serialization of RunOptions and RunResult.
+ *
+ * Two subsystems need a faithful on-disk form of a run: failure
+ * forensics (replay recipes in the "bvl-failure-report-v1" schema) and
+ * the crash-safe sweep service (write-ahead journal and result cache,
+ * DESIGN.md §14). Both must reproduce a run *exactly*, so every field
+ * that affects simulation — including the engine-parameter override of
+ * the Figure 7/8 ablations — round-trips, and a serialized RunResult
+ * re-serializes byte-identically (the JSON layer prints doubles with
+ * %.17g, which is exact for IEEE doubles).
+ *
+ * fromJson functions accept missing members (defaulting them) so old
+ * documents stay loadable; they throw SimFatalError on structurally
+ * malformed input, matching Json::parse.
+ */
+
+#ifndef BVL_SOC_RUN_IO_HH
+#define BVL_SOC_RUN_IO_HH
+
+#include "sim/check/json.hh"
+#include "soc/run_driver.hh"
+
+namespace bvl
+{
+
+Json runOptionsToJson(const RunOptions &o);
+RunOptions runOptionsFromJson(const Json &j);
+
+Json runResultToJson(const RunResult &r);
+RunResult runResultFromJson(const Json &j);
+
+Json vengineParamsToJson(const VEngineParams &p);
+VEngineParams vengineParamsFromJson(const Json &j);
+
+/** Heartbeat/divergence serialization shared with forensics reports. */
+Json heartbeatsToJson(const std::vector<Watchdog::Heartbeat> &beats);
+std::vector<Watchdog::Heartbeat> heartbeatsFromJson(const Json &j);
+Json divergenceToJson(const DivergenceRecord &d);
+DivergenceRecord divergenceFromJson(const Json &j);
+
+} // namespace bvl
+
+#endif // BVL_SOC_RUN_IO_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SHA-256 digest for the sweep service.
+ *
+ * The service needs a collision-resistant digest twice: job identity
+ * (the content-addressed key of the journal and result cache) and
+ * payload integrity (detecting a truncated or corrupted cache entry on
+ * disk). The repo has no third-party dependencies, so this is a small
+ * self-contained implementation of FIPS 180-4 SHA-256; it hashes a few
+ * hundred bytes per job, nowhere near a hot path.
+ */
+
+#ifndef BVL_SWEEP_SERVICE_DIGEST_HH
+#define BVL_SWEEP_SERVICE_DIGEST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bvl
+{
+
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the 64-char lowercase hex digest. */
+    std::string hex();
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> h;
+    std::uint8_t buf[64];
+    std::size_t bufLen = 0;
+    std::uint64_t totalBits = 0;
+};
+
+/** One-shot digest of a string. */
+std::string sha256Hex(const std::string &data);
+
+} // namespace bvl
+
+#endif // BVL_SWEEP_SERVICE_DIGEST_HH

@@ -1,0 +1,41 @@
+#include "sweep/service/job_hash.hh"
+
+#include "sim/check/forensics.hh"
+#include "soc/run_io.hh"
+#include "sweep/service/digest.hh"
+
+namespace bvl
+{
+
+std::string
+jobHashHex(const SweepJob &job)
+{
+    // Strip fields that do not affect simulation output so a traced or
+    // supervised run keys identically to a plain one.
+    RunOptions canonical = job.opts;
+    canonical.trace.path.clear();
+    canonical.trace.samplePath.clear();
+    canonical.check.forensicsPath.clear();
+    canonical.wallDeadlineSec = 0.0;
+
+    Sha256 d;
+    auto feed = [&](const std::string &s) {
+        d.update(s.data(), s.size());
+        d.update("\0", 1);      // unambiguous field separator
+    };
+    feed(designName(job.design));
+    feed(job.workload);
+    feed(scaleName(job.scale));
+    feed(runOptionsToJson(canonical).dump(0));
+    feed(kLibraryRevision);
+    return d.hex();
+}
+
+bool
+jobCacheable(const SweepJob &job)
+{
+    return job.opts.trace.path.empty() &&
+           job.opts.trace.samplePath.empty();
+}
+
+} // namespace bvl

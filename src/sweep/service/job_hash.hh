@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Canonical job identity for the sweep service.
+ *
+ * A job's hash is the SHA-256 of (design, workload, scale, canonical
+ * serialized RunOptions, library revision). Two jobs with the same
+ * hash are guaranteed to produce the same RunResult, so the hash keys
+ * both the write-ahead journal and the content-addressed result cache
+ * (DESIGN.md §14).
+ *
+ * Canonicalization strips the RunOptions fields that do not affect
+ * simulation output: output paths (trace path, sample path, forensics
+ * path) and host-time supervision (wallDeadlineSec). Everything else
+ * — including the engine-parameter override of the Figure 7/8
+ * ablations and the fault plan — feeds the hash.
+ *
+ * The library revision ties cached results to simulation semantics:
+ * bump kLibraryRevision whenever a change alters any RunResult (timing
+ * model, stat definitions, workload generation, ...) so stale caches
+ * invalidate themselves instead of serving wrong numbers.
+ */
+
+#ifndef BVL_SWEEP_SERVICE_JOB_HASH_HH
+#define BVL_SWEEP_SERVICE_JOB_HASH_HH
+
+#include <string>
+
+#include "sweep/sweep_runner.hh"
+
+namespace bvl
+{
+
+/** Bump on any change that alters simulation results. */
+constexpr const char *kLibraryRevision = "bvl-r6";
+
+/** 64-char hex SHA-256 identifying @p job (see file comment). */
+std::string jobHashHex(const SweepJob &job);
+
+/**
+ * Jobs with armed per-run output files (Perfetto trace, stat samples)
+ * have side effects a cached result cannot reproduce, so the service
+ * always re-simulates them and never journals or caches them.
+ */
+bool jobCacheable(const SweepJob &job);
+
+} // namespace bvl
+
+#endif // BVL_SWEEP_SERVICE_JOB_HASH_HH

@@ -1,0 +1,127 @@
+#include "sweep/service/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/check/forensics.hh"
+#include "sim/logging.hh"
+#include "soc/run_io.hh"
+
+namespace bvl
+{
+
+namespace
+{
+
+constexpr const char *kJournalSchema = "bvl-sweep-journal-v1";
+
+} // namespace
+
+SweepJournal::~SweepJournal()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+SweepJournal::open(const std::string &path)
+{
+    bvl_assert(fd < 0, "journal opened twice");
+    _path = path;
+
+    std::error_code ec;
+    auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+
+    // Load existing entries before opening for append: a line is the
+    // unit of durability, so anything unparsable (the torn tail of a
+    // killed writer) is skipped, not fatal.
+    std::ifstream in(path);
+    if (in) {
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            try {
+                Json row = Json::parse(line);
+                const std::string &hash = row["hash"].asString();
+                if (row["schema"].asString() != kJournalSchema ||
+                    hash.empty() || !row.has("result")) {
+                    ++_skipped;
+                    continue;
+                }
+                replay[hash] = runResultFromJson(row["result"]);
+            } catch (const SimError &) {
+                ++_skipped;
+            }
+        }
+        if (_skipped)
+            warn("sweep journal %s: skipped %zu corrupt/truncated "
+                 "line(s)", path.c_str(), _skipped);
+    }
+
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        warn("sweep journal: cannot open %s for append; journaling "
+             "disabled", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+SweepJournal::lookup(const std::string &hash, RunResult *out) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto it = replay.find(hash);
+    if (it == replay.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+SweepJournal::append(const std::string &hash, const SweepJob &job,
+                     unsigned attempts, const char *source,
+                     const RunResult &result)
+{
+    if (fd < 0)
+        return;
+
+    Json row = Json::object();
+    row.set("schema", kJournalSchema);
+    row.set("hash", hash);
+    row.set("design", designName(job.design));
+    row.set("workload", job.workload);
+    row.set("scale", scaleName(job.scale));
+    row.set("attempts", attempts);
+    row.set("source", source);
+    row.set("result", runResultToJson(result));
+    std::string line = row.dump(0);
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(m);
+    // One write per line keeps a torn append confined to the tail;
+    // fsync before the caller's future resolves makes the entry
+    // survive kill -9.
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            warn("sweep journal %s: write failed; entry dropped",
+                 _path.c_str());
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    replay[hash] = result;
+}
+
+} // namespace bvl

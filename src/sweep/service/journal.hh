@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Write-ahead results journal for crash-safe sweeps.
+ *
+ * Append-only JSONL file, one completed job per line:
+ *
+ *   {"schema":"bvl-sweep-journal-v1","hash":"...","design":"...",
+ *    "workload":"...","scale":"...","attempts":N,"source":"sim|cache",
+ *    "result":{...}}
+ *
+ * Every append is written with a single write(2) and fsync'd before
+ * the job's future resolves, so after a kill -9 at any point the
+ * journal holds every job whose result was ever observable. On open,
+ * existing entries are loaded for replay; a truncated final line (the
+ * crash case) or an otherwise corrupt line is skipped with a warning
+ * — the affected job simply re-simulates.
+ *
+ * Thread-safe: appends from concurrent sweep workers are serialized
+ * on an internal mutex.
+ */
+
+#ifndef BVL_SWEEP_SERVICE_JOURNAL_HH
+#define BVL_SWEEP_SERVICE_JOURNAL_HH
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sweep/sweep_runner.hh"
+
+namespace bvl
+{
+
+class SweepJournal
+{
+  public:
+    SweepJournal() = default;
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Open (creating parent directories and the file as needed) and
+     * load existing entries. Returns false — with a warn() — when the
+     * file cannot be opened for appending; the journal then behaves
+     * as disabled and lookups/appends are no-ops.
+     */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return fd >= 0; }
+    const std::string &path() const { return _path; }
+
+    /** Entries loaded from disk at open() time (resume candidates). */
+    std::size_t loadedEntries() const { return replay.size(); }
+    /** Corrupt/truncated lines skipped during open(). */
+    std::size_t skippedLines() const { return _skipped; }
+
+    /** Fetch the journaled result for @p hash, if any. */
+    bool lookup(const std::string &hash, RunResult *out) const;
+
+    /**
+     * Durably record one completed job. @p source is "sim" for a
+     * fresh simulation or "cache" for a verified cache hit. The entry
+     * also becomes visible to subsequent lookup()s.
+     */
+    void append(const std::string &hash, const SweepJob &job,
+                unsigned attempts, const char *source,
+                const RunResult &result);
+
+  private:
+    int fd = -1;
+    std::string _path;
+    std::size_t _skipped = 0;
+    mutable std::mutex m;
+    std::unordered_map<std::string, RunResult> replay;
+};
+
+} // namespace bvl
+
+#endif // BVL_SWEEP_SERVICE_JOURNAL_HH

@@ -1,0 +1,136 @@
+#include "sweep/service/result_cache.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "soc/run_io.hh"
+#include "sweep/service/digest.hh"
+#include "sweep/service/job_hash.hh"
+
+namespace bvl
+{
+
+namespace
+{
+
+constexpr const char *kCacheSchema = "bvl-result-cache-v1";
+
+void
+quarantine(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec)
+        warn("result cache: cannot quarantine %s: %s", path.c_str(),
+             ec.message().c_str());
+}
+
+} // namespace
+
+std::string
+ResultCache::entryPath(const std::string &hash) const
+{
+    return _dir + "/" + hash.substr(0, 2) + "/" + hash + ".json";
+}
+
+bool
+ResultCache::lookup(const std::string &hash, RunResult *out)
+{
+    if (!enabled())
+        return false;
+    std::string path = entryPath(hash);
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    // Any structural problem from here on is an integrity failure:
+    // quarantine the entry and miss so the job re-simulates.
+    try {
+        Json doc = Json::parse(text.str());
+        if (doc["schema"].asString() != kCacheSchema ||
+            doc["hash"].asString() != hash)
+            throw SimFatalError("schema/hash mismatch");
+        std::string payload = doc["result"].dump(0);
+        if (sha256Hex(payload) != doc["digest"].asString())
+            throw SimFatalError("digest mismatch");
+        *out = runResultFromJson(doc["result"]);
+    } catch (const SimError &e) {
+        ++_corrupt;
+        warn("result cache: corrupt entry %s (%s); quarantined and "
+             "re-simulating", path.c_str(), e.what());
+        quarantine(path);
+        return false;
+    }
+    return true;
+}
+
+void
+ResultCache::store(const std::string &hash, const RunResult &result)
+{
+    if (!enabled())
+        return;
+    std::string path = entryPath(hash);
+
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+
+    Json doc = Json::object();
+    doc.set("schema", kCacheSchema);
+    doc.set("hash", hash);
+    doc.set("revision", kLibraryRevision);
+    Json payload = runResultToJson(result);
+    doc.set("digest", sha256Hex(payload.dump(0)));
+    doc.set("result", std::move(payload));
+    std::string text = doc.dump(0);
+    text += '\n';
+
+    // Atomic publish: unique temp name, fsync, rename. Two writers
+    // racing on the same hash both write identical bytes, so either
+    // rename winning is correct.
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                      "." +
+                      std::to_string(std::hash<std::thread::id>{}(
+                          std::this_thread::get_id()) &
+                                     0xffff);
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("result cache: cannot write %s", tmp.c_str());
+        return;
+    }
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < text.size()) {
+        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            ok = false;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (ok)
+        ::fsync(fd);
+    ::close(fd);
+    if (!ok) {
+        warn("result cache: short write of %s; entry dropped",
+             tmp.c_str());
+        ::unlink(tmp.c_str());
+        return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: cannot publish %s: %s", path.c_str(),
+             ec.message().c_str());
+        ::unlink(tmp.c_str());
+    }
+}
+
+} // namespace bvl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content-addressed result cache with integrity verification.
+ *
+ * One file per job hash under <dir>/<hh>/<hash>.json (two-hex-char
+ * shard directories), holding:
+ *
+ *   {"schema":"bvl-result-cache-v1","hash":"...","revision":"...",
+ *    "digest":"<sha256 of the compact result serialization>",
+ *    "result":{...}}
+ *
+ * Only ok results are cached — failures stay a per-sweep journal
+ * concern so a transient failure never poisons future sweeps.
+ *
+ * lookup() re-serializes the embedded result and compares its SHA-256
+ * against the stored digest, so a truncated, bit-flipped or
+ * hand-edited entry is detected; the bad file is quarantined (renamed
+ * to <file>.corrupt) and the lookup misses, which makes the service
+ * transparently re-simulate and re-store. Stores are atomic
+ * (temp file + fsync + rename), so concurrent sweeps sharing a cache
+ * directory never observe a partial entry under its final name.
+ */
+
+#ifndef BVL_SWEEP_SERVICE_RESULT_CACHE_HH
+#define BVL_SWEEP_SERVICE_RESULT_CACHE_HH
+
+#include <atomic>
+#include <string>
+
+#include "soc/run_driver.hh"
+
+namespace bvl
+{
+
+class ResultCache
+{
+  public:
+    ResultCache() = default;
+
+    /** Enable the cache rooted at @p dir (created on first store). */
+    void setDir(std::string dir) { _dir = std::move(dir); }
+
+    bool enabled() const { return !_dir.empty(); }
+    const std::string &dir() const { return _dir; }
+
+    /** Entry file path for @p hash (valid whether or not it exists). */
+    std::string entryPath(const std::string &hash) const;
+
+    /**
+     * Load and verify the entry for @p hash. Returns false on miss,
+     * or — after quarantining the file — on any integrity failure.
+     */
+    bool lookup(const std::string &hash, RunResult *out);
+
+    /** Atomically persist an ok @p result under @p hash. */
+    void store(const std::string &hash, const RunResult &result);
+
+    /** Integrity failures detected by lookup() so far. */
+    std::uint64_t corruptEntries() const { return _corrupt; }
+
+  private:
+    std::string _dir;
+    std::atomic<std::uint64_t> _corrupt{0};
+};
+
+} // namespace bvl
+
+#endif // BVL_SWEEP_SERVICE_RESULT_CACHE_HH
