@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 #include "soc/run_driver.hh"
 #include "sweep/service/service.hh"
@@ -36,16 +37,12 @@ using namespace bvl;
 inline Scale
 chosenScale(Scale fallback)
 {
-    const char *env = std::getenv("BVL_SCALE");
-    if (!env)
-        return fallback;
-    if (!std::strcmp(env, "tiny"))
-        return Scale::tiny;
-    if (!std::strcmp(env, "small"))
-        return Scale::small;
-    if (!std::strcmp(env, "medium"))
-        return Scale::medium;
-    fatal("BVL_SCALE must be tiny|small|medium");
+    switch (envChoice("BVL_SCALE", {"tiny", "small", "medium"}, -1)) {
+      case 0: return Scale::tiny;
+      case 1: return Scale::small;
+      case 2: return Scale::medium;
+      default: return fallback;
+    }
 }
 
 inline const char *

@@ -7,9 +7,16 @@
  *   $ ./example_run_workload --workload saxpy --design 1b-4VL \
  *         --scale small --big-ghz 1.0 --little-ghz 1.2 --stats
  *   $ ./example_run_workload --list
+ *
+ * Checkpointing and sampled simulation (DESIGN.md §15):
+ *
+ *   $ ./example_run_workload --checkpoint ckpt.bvl --ff 20000
+ *   $ ./example_run_workload --restore ckpt.bvl --ff 20000
+ *   $ ./example_run_workload --sample 20000:1000:4000:8
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 
@@ -43,7 +50,11 @@ usage(const char *argv0)
                  "          [--no-verify] [--list]\n"
                  "          [--trace FILE] [--trace-cats CSV] "
                  "[--trace-start NS] [--trace-stop NS]\n"
-                 "          [--sample FILE] [--sample-interval NS]\n"
+                 "          [--stat-sample FILE] "
+                 "[--sample-interval NS]\n"
+                 "          [--checkpoint FILE] [--restore FILE] "
+                 "[--ff N]\n"
+                 "          [--sample FF:WARM:DETAIL:PERIODS]\n"
                  "designs: 1L 1b 1bIV 1b-4L 1bIV-4L 1bDV 1b-4VL\n"
                  "trace cats: big,core,vcu,lane,vxu,vmu,cache,dram "
                  "(default all)\n",
@@ -106,10 +117,28 @@ main(int argc, char **argv)
             opts.trace.startNs = std::atof(next());
         } else if (arg == "--trace-stop") {
             opts.trace.stopNs = std::atof(next());
-        } else if (arg == "--sample") {
+        } else if (arg == "--stat-sample") {
             opts.trace.samplePath = next();
         } else if (arg == "--sample-interval") {
             opts.trace.sampleIntervalNs = std::atof(next());
+        } else if (arg == "--checkpoint") {
+            opts.checkpoint.savePath = next();
+        } else if (arg == "--restore") {
+            opts.checkpoint.restorePath = next();
+        } else if (arg == "--ff") {
+            opts.checkpoint.ffInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sample") {
+            // FF:WARM:DETAIL:PERIODS, e.g. 20000:1000:4000:8.
+            unsigned long long ff = 0, wu = 0, det = 0, per = 0;
+            if (std::sscanf(next(), "%llu:%llu:%llu:%llu", &ff, &wu,
+                            &det, &per) != 4) {
+                usage(argv[0]);
+                return 1;
+            }
+            opts.sampling.ffInsts = ff;
+            opts.sampling.warmupInsts = wu;
+            opts.sampling.detailInsts = det;
+            opts.sampling.periods = static_cast<unsigned>(per);
         } else {
             usage(argv[0]);
             return 1;
@@ -124,6 +153,10 @@ main(int argc, char **argv)
     }
 
     auto r = runWorkload(design, *w, opts);
+    // Diagnostics (e.g. a quarantined corrupt checkpoint) are captured
+    // into the result by the driver; surface them like a plain run.
+    if (!r.log.empty())
+        std::fputs(r.log.c_str(), stderr);
     std::printf("workload  %s (%s)\n", r.workload.c_str(),
                 w->isDataParallel() ? "data-parallel" : "task-parallel");
     std::printf("design    %s  (big %.1f GHz, little %.1f GHz)\n",

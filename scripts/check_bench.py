@@ -15,9 +15,18 @@ order-of-magnitude mistakes (an accidental allocation or lock on the
 hot path), not single-digit-percent drift; scripts/bench.sh --update
 refreshes the baseline after intentional changes.
 
+A second gate covers sampled (fast-forward) simulation accuracy:
+--sampled checks a bvl-sampled-validation-v1 document (written by
+`BVL_SAMPLED_OUT=<file> build/bench/fig04_sampled`) against the mean
+cycle-error bound the sampling feature promises (3%, DESIGN.md §15).
+Unlike nanoseconds, cycle error is machine-independent, so the bound
+is tight and not widened on CI. Wall-clock speedup is reported but
+never gated — it depends on the host.
+
 Usage:
     scripts/check_bench.py --results build-bench/microbench.json
     scripts/check_bench.py --results r.json --tolerance 0.5
+    scripts/check_bench.py --sampled build/sampled.json
     scripts/check_bench.py --self-test
 """
 
@@ -104,6 +113,65 @@ def load_results(path):
     return out
 
 
+SAMPLED_SCHEMA = "bvl-sampled-validation-v1"
+
+
+def load_sampled(path):
+    """Validated bvl-sampled-validation-v1 document from fig04_sampled."""
+    hint = ("regenerate with BVL_SAMPLED_OUT=%s "
+            "build/bench/fig04_sampled" % path)
+    doc = load_json_doc(path, "sampled-validation", hint)
+    if doc.get("schema") != SAMPLED_SCHEMA:
+        raise GateInputError("sampled-validation file %s has schema %r, "
+                             "expected %r; %s"
+                             % (path, doc.get("schema"), SAMPLED_SCHEMA,
+                                hint))
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise GateInputError("sampled-validation file %s has no rows — "
+                             "did every workload fail? %s" % (path, hint))
+    if not isinstance(doc.get("meanAbsError"), (int, float)):
+        raise GateInputError("sampled-validation file %s lacks a numeric "
+                             "'meanAbsError'; %s" % (path, hint))
+    return doc
+
+
+def check_sampled(doc, max_mean_error):
+    """Return (failures, report_lines) for a sampled-validation doc.
+
+    Gates the suite-mean absolute cycle error; per-workload errors are
+    reported for diagnosis but individually only fail at 2x the mean
+    bound (one phase-y workload may sit above the mean bound without
+    the sampling methodology being broken).
+    """
+    failures = []
+    lines = []
+    per_row_bound = 2.0 * max_mean_error
+    for row in doc["rows"]:
+        name = row.get("workload", "?")
+        err = row.get("error")
+        if not isinstance(err, (int, float)):
+            failures.append(name)
+            lines.append("%-16s no error value (failed run?)" % name)
+            continue
+        verdict = "ok"
+        if abs(err) > per_row_bound:
+            verdict = "EXCEEDS %.0f%%" % (per_row_bound * 100.0)
+            failures.append(name)
+        lines.append("%-16s %+7.2f%%  %6.1fx  %s"
+                     % (name, err * 100.0,
+                        row.get("speedup", 0.0), verdict))
+    mean = doc["meanAbsError"]
+    verdict = "ok"
+    if mean > max_mean_error:
+        verdict = "EXCEEDS %.0f%% BOUND" % (max_mean_error * 100.0)
+        failures.append("mean")
+    lines.append("%-16s %+7.2f%%  %6.1fx  %s"
+                 % ("mean|err|", mean * 100.0,
+                    doc.get("aggregateSpeedup", 0.0), verdict))
+    return failures, lines
+
+
 def compare(baseline, results, tolerance, benches):
     """Return (failures, report_lines); failures is a list of names."""
     failures = []
@@ -161,6 +229,34 @@ def self_test():
     assert not failures
     assert all("improved" in l for l in lines)
 
+    # Sampled-accuracy gate: bound holds, mean breach, row breach.
+    def sampled_doc(errors, mean):
+        return {"schema": SAMPLED_SCHEMA,
+                "rows": [{"workload": w, "error": e, "speedup": 10.0}
+                         for w, e in errors.items()],
+                "meanAbsError": mean, "aggregateSpeedup": 10.0}
+
+    good = sampled_doc({"vvadd": 0.01, "mmult": -0.02}, 0.015)
+    failures, _ = check_sampled(good, 0.03)
+    assert not failures, "1.5%% mean within 3%% bound: %s" % failures
+
+    bad_mean = sampled_doc({"vvadd": 0.04, "mmult": -0.05}, 0.045)
+    failures, lines = check_sampled(bad_mean, 0.03)
+    assert failures == ["mean"], \
+        "mean breach must fail exactly 'mean': %s" % failures
+    assert any("EXCEEDS" in l for l in lines)
+
+    bad_row = sampled_doc({"vvadd": 0.09, "mmult": 0.0}, 0.045)
+    failures, _ = check_sampled(bad_row, 0.03)
+    assert failures == ["vvadd", "mean"], \
+        "9%% row must fail the 2x-mean per-row bound: %s" % failures
+
+    no_err = {"schema": SAMPLED_SCHEMA,
+              "rows": [{"workload": "vvadd"}], "meanAbsError": 0.0}
+    failures, _ = check_sampled(no_err, 0.03)
+    assert failures == ["vvadd"], \
+        "a row without an error value must fail: %s" % failures
+
     # Broken input files: one actionable error each, never a traceback.
     import tempfile
     with tempfile.TemporaryDirectory() as tmp:
@@ -192,6 +288,25 @@ def self_test():
             assert "microbenchmarks" in str(e)
         else:
             assert False, "baseline without microbenchmarks must fail"
+        bad_sampled = os.path.join(tmp, "sampled.json")
+        cases = [
+            ('{"schema": "bvl-other-v9", "rows": [{}], '
+             '"meanAbsError": 0.1}', "has schema"),
+            ('{"schema": "%s", "rows": [], "meanAbsError": 0.1}'
+             % SAMPLED_SCHEMA, "no rows"),
+            ('{"schema": "%s", "rows": [{}]}' % SAMPLED_SCHEMA,
+             "meanAbsError"),
+        ]
+        for content, expect in cases:
+            with open(bad_sampled, "w") as f:
+                f.write(content)
+            try:
+                load_sampled(bad_sampled)
+            except GateInputError as e:
+                assert expect in str(e), \
+                    "wrong sampled diagnosis: %s" % e
+            else:
+                assert False, "bad sampled doc must be rejected"
 
     print("check_bench.py self-test: all cases behaved")
     return 0
@@ -212,6 +327,14 @@ def main():
                          "BVL_BENCH_TOLERANCE)")
     ap.add_argument("--benches", default=",".join(GATED),
                     help="comma-separated gated bench names")
+    ap.add_argument("--sampled",
+                    help="bvl-sampled-validation-v1 JSON from "
+                         "fig04_sampled to gate instead")
+    ap.add_argument("--max-mean-error", type=float,
+                    default=float(os.environ.get("BVL_SAMPLED_MAX_ERROR",
+                                                 "0.03")),
+                    help="allowed mean |cycle error| for --sampled "
+                         "(default 0.03, env BVL_SAMPLED_MAX_ERROR)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the comparator catches an injected "
                          "slowdown, then exit")
@@ -219,8 +342,29 @@ def main():
 
     if args.self_test:
         return self_test()
+
+    if args.sampled:
+        try:
+            doc = load_sampled(args.sampled)
+        except GateInputError as e:
+            print("sampled gate: ERROR: %s" % e, file=sys.stderr)
+            return 1
+        failures, lines = check_sampled(doc, args.max_mean_error)
+        print("sampled gate: mean bound %.1f%%, %s @ %s"
+              % (args.max_mean_error * 100.0, doc.get("design", "?"),
+                 doc.get("scale", "?")))
+        for line in lines:
+            print("  " + line)
+        if failures:
+            print("FAIL: over bound: %s" % ", ".join(failures))
+            print("(retune the per-workload configs in "
+                  "bench/fig04_sampled.cc)")
+            return 1
+        print("sampled gate passed")
+        return 0
+
     if not args.results:
-        ap.error("--results is required (or use --self-test)")
+        ap.error("--results or --sampled is required (or --self-test)")
 
     benches = [b for b in args.benches.split(",") if b]
     try:

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Checkpoint + sampled-simulation smoke (DESIGN.md §15), shared by
+# scripts/ci.sh and the GitHub Actions workflow. Exercises, against
+# the example_run_workload driver and a live sweep:
+#
+#   1. save run (--checkpoint --ff)  -> checkpoint written, run finishes
+#   2. restore run (--restore)       -> stdout byte-identical to save run
+#   3. warm restore rerun            -> byte-identical again
+#   4. corrupt checkpoint (bit flip) -> quarantined as *.corrupt and
+#                                       re-simulated, never trusted;
+#                                       stdout still byte-identical
+#   5. sampled run (--sample) twice  -> byte-identical (determinism)
+#   6. save/restore mid-sweep        -> checkpoint runs concurrent with
+#                                       a sweep-service sweep; neither
+#                                       perturbs the other
+#
+# Usage: scripts/checkpoint_smoke.sh [build-dir] [scratch-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+scratch="${2:-$build/ckpt-smoke}"
+run="$build/examples/example_run_workload"
+sweep="$build/bench/fig04_speedup"
+[ -x "$run" ] || { echo "FAIL: $run not built" >&2; exit 1; }
+[ -x "$sweep" ] || { echo "FAIL: $sweep not built" >&2; exit 1; }
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+ckpt="$scratch/saxpy.bvl"
+args=(--workload saxpy --design 1b-4VL --scale small)
+
+echo "--- save run: fast-forward 2000 insts, checkpoint, finish"
+"$run" "${args[@]}" --checkpoint "$ckpt" --ff 2000 > "$scratch/save.out"
+[ -s "$ckpt" ] || { echo "FAIL: no checkpoint at $ckpt" >&2; exit 1; }
+grep -q '^verified  yes' "$scratch/save.out" \
+    || { echo "FAIL: save run did not verify" >&2; exit 1; }
+
+echo "--- restore run: byte-identical to the uninterrupted save run"
+"$run" "${args[@]}" --restore "$ckpt" --ff 2000 > "$scratch/restore.out"
+cmp "$scratch/save.out" "$scratch/restore.out"
+
+echo "--- warm restore rerun: still byte-identical"
+"$run" "${args[@]}" --restore "$ckpt" --ff 2000 > "$scratch/restore2.out"
+cmp "$scratch/save.out" "$scratch/restore2.out"
+
+echo "--- corrupt checkpoint: quarantined and re-simulated"
+python3 - "$ckpt" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[-1] ^= 0xFF  # flip payload bits so the digest cannot match
+open(path, "wb").write(data)
+EOF
+"$run" "${args[@]}" --restore "$ckpt" --ff 2000 \
+    > "$scratch/poison.out" 2> "$scratch/poison.err"
+[ -e "$ckpt.corrupt" ] \
+    || { echo "FAIL: corrupt checkpoint not quarantined" >&2; exit 1; }
+[ -e "$ckpt" ] \
+    && { echo "FAIL: corrupt checkpoint left in place" >&2; exit 1; }
+grep -q 'quarantined' "$scratch/poison.err" \
+    || { echo "FAIL: no quarantine warning on stderr" >&2; exit 1; }
+cmp "$scratch/save.out" "$scratch/poison.out"
+
+echo "--- sampled run: identical stdout across reruns"
+"$run" "${args[@]}" --sample 2000:400:500:4 > "$scratch/sampled1.out"
+"$run" "${args[@]}" --sample 2000:400:500:4 > "$scratch/sampled2.out"
+cmp "$scratch/sampled1.out" "$scratch/sampled2.out"
+grep -q '^verified  yes' "$scratch/sampled1.out" \
+    || { echo "FAIL: sampled run did not verify" >&2; exit 1; }
+
+echo "--- save/restore mid-sweep under the sweep service"
+BVL_SCALE=tiny BVL_JOBS=4 BVL_SWEEP_DIR="$scratch/sweep.bg" \
+    "$sweep" > "$scratch/sweep.bg.out" 2> /dev/null &
+bg=$!
+mid="$scratch/mid.bvl"
+"$run" "${args[@]}" --checkpoint "$mid" --ff 2000 > "$scratch/mid_save.out"
+"$run" "${args[@]}" --restore "$mid" --ff 2000 > "$scratch/mid_restore.out"
+cmp "$scratch/save.out" "$scratch/mid_save.out"      # vs solo save run
+cmp "$scratch/mid_save.out" "$scratch/mid_restore.out"
+wait "$bg"
+BVL_SCALE=tiny BVL_JOBS=4 BVL_SWEEP_DIR="$scratch/sweep.solo" \
+    "$sweep" > "$scratch/sweep.solo.out" 2> /dev/null
+cmp "$scratch/sweep.bg.out" "$scratch/sweep.solo.out"
+
+echo "checkpoint_smoke.sh: all checkpoint/sampling checks passed"

@@ -6,7 +6,11 @@
 # re-entrancy guarantees, smoke the failure-forensics pipeline
 # (deliberately fatal fault plan -> JSON report -> plan minimizer),
 # smoke the sweep service's crash safety (kill -9/resume, cache
-# poisoning, isolation, SIGINT; scripts/sweep_smoke.sh), and gate the
+# poisoning, isolation, SIGINT; scripts/sweep_smoke.sh), smoke
+# checkpoint save/restore determinism, corrupt-checkpoint quarantine
+# and sampled-run determinism (scripts/checkpoint_smoke.sh), gate the
+# sampled-simulation cycle-error bound against full detail
+# (fig04_sampled + scripts/check_bench.py --sampled), and gate the
 # kernel microbenchmarks against the pinned baseline
 # (scripts/check_bench.py).
 #
@@ -74,6 +78,16 @@ echo "traces are byte-identical across thread counts"
 
 echo "=== sweep-service crash safety (kill/resume, cache poisoning) ==="
 scripts/sweep_smoke.sh build build/sweep-smoke
+
+echo "=== checkpoint save/restore + sampled determinism smoke ==="
+scripts/checkpoint_smoke.sh build build/ckpt-smoke
+
+echo "=== sampled-accuracy gate (fig04 sampled vs full detail) ==="
+# Cycle error is machine-independent, so the 3% bound holds on any
+# host; wall-clock speedup is reported but never gated.
+BVL_SCALE=medium BVL_SAMPLED_OUT=build/sampled.json \
+    ./build/bench/fig04_sampled | tee build/fig04_sampled.out
+python3 scripts/check_bench.py --sampled build/sampled.json
 
 echo "=== kernel microbenchmark gate (Release) ==="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -48,23 +48,19 @@ BigCore::BigCore(ClockDomain &cd, StatGroup &sg, MemSystem &ms,
 }
 
 void
-BigCore::runProgram(ProgramPtr program,
-                    const std::vector<std::pair<RegId, std::uint64_t>>
-                        &args,
-                    std::function<void()> done)
+BigCore::beginWindow(ProgramPtr program, std::uint64_t maxFetch,
+                     std::function<void()> done)
 {
-    bvl_assert(!running, "big core: runProgram while busy");
+    bvl_assert(!running, "big core: window start while busy");
     prog = std::move(program);
     onDone = std::move(done);
-    arch.reset();
-    for (const auto &[reg, value] : args) {
-        if (isFReg(reg))
-            arch.setF(reg, value);
-        else
-            arch.setX(reg, value);
-    }
     running = true;
     haltSeen = false;
+    fetchStopAt = maxFetch;
+    windowFetched_ = 0;
+    markFetchAt = 0;
+    windowLastFetch_ = clock().eventQueue().now();
+    windowMark_ = 0;
     fetchBuf.reset();
     fetchStallUntil = 0;
     blockingBranch = nullptr;
@@ -78,10 +74,36 @@ BigCore::runProgram(ProgramPtr program,
     storesInFlight = 0;
     vecOutstanding = 0;
     vecQueue.clear();
+    activate();
+}
+
+void
+BigCore::runProgram(ProgramPtr program,
+                    const std::vector<std::pair<RegId, std::uint64_t>>
+                        &args,
+                    std::function<void()> done)
+{
+    arch.reset();
+    for (const auto &[reg, value] : args) {
+        if (isFReg(reg))
+            arch.setF(reg, value);
+        else
+            arch.setX(reg, value);
+    }
     bpred.reset();
+    beginWindow(std::move(program), 0, std::move(done));
     if (check)
         check->onProgramStart(this, prog.get(), arch);
-    activate();
+}
+
+void
+BigCore::runWindow(ProgramPtr program, std::uint64_t maxFetch,
+                   std::function<void()> done, std::uint64_t markFetch)
+{
+    // Architectural state and the predictor are left exactly as the
+    // caller seeded them (fast-forward / checkpoint restore).
+    beginWindow(std::move(program), maxFetch, std::move(done));
+    markFetchAt = markFetch;
 }
 
 void
@@ -89,7 +111,7 @@ BigCore::fetchStage()
 {
     auto &eq = clock().eventQueue();
     for (unsigned n = 0; n < p.fetchWidth; ++n) {
-        if (haltSeen || blockingBranch ||
+        if (haltSeen || fetchLimitHit() || blockingBranch ||
             fetchStallUntil > eq.now() || rob.size() >= p.robEntries) {
             return;
         }
@@ -103,6 +125,10 @@ BigCore::fetchStage()
         std::uint64_t fetchPc = arch.pc;
         ExecTrace tr = stepOne(arch, *prog, backing);
         sFetched++;
+        ++windowFetched_;
+        windowLastFetch_ = eq.now();
+        if (windowFetched_ == markFetchAt)
+            windowMark_ = eq.now();
         if (check)
             check->onFetchExecuted(this, arch, tr, backing, eq.now());
 
@@ -494,7 +520,7 @@ BigCore::progressDetail() const
 void
 BigCore::maybeFinish()
 {
-    if (!running || !haltSeen || !rob.empty())
+    if (!running || !(haltSeen || fetchLimitHit()) || !rob.empty())
         return;
     if (loadsInFlight != 0 || storesInFlight != 0 || vecOutstanding != 0)
         return;

@@ -75,9 +75,39 @@ class BigCore : public Clocked
                         &args,
                     std::function<void()> done);
 
+    /**
+     * Run a detailed-timing window over at most @p maxFetch dynamic
+     * instructions without resetting architectural state — the
+     * fast-forward engine seeds ArchState functionally and then
+     * interleaves detailed windows with functional regions
+     * (DESIGN.md §15). @p maxFetch == 0 means run to the halt.
+     */
+    /**
+     * @p markFetch != 0 records the tick of that fetch
+     * (windowMarkTick()): the sampler measures steady-state throughput
+     * as the fetch-to-fetch span [markFetch, maxFetch] inside one
+     * window, where fetch is retire-coupled once the ROB has filled.
+     */
+    void runWindow(ProgramPtr prog, std::uint64_t maxFetch,
+                   std::function<void()> done,
+                   std::uint64_t markFetch = 0);
+
     bool busy() const { return running; }
     ArchState &archState() { return arch; }
     std::uint64_t retired() const { return numRetired; }
+    /** Instructions fetched by the current/last window. */
+    std::uint64_t windowFetched() const { return windowFetched_; }
+    /**
+     * Tick of the window's last fetch. Sampled measurement spans
+     * window start to here, so the end-of-window pipeline/engine
+     * drain — simulated only to leave consistent state behind — is
+     * not attributed to the measured instructions.
+     */
+    Tick windowLastFetchTick() const { return windowLastFetch_; }
+    /** Tick of the runWindow() markFetch'th fetch (0 = never hit). */
+    Tick windowMarkTick() const { return windowMark_; }
+    /** Branch predictor (checkpoint save/restore, DESIGN.md §15). */
+    GsharePredictor &predictor() { return bpred; }
 
     /** Register the retire stage's heartbeat with a watchdog. */
     void registerProgress(Watchdog &wd);
@@ -126,6 +156,13 @@ class BigCore : public Clocked
         Tick completeTick = 0;
     };
 
+    /** Shared pipeline reset + start of runProgram()/runWindow(). */
+    void beginWindow(ProgramPtr prog, std::uint64_t maxFetch,
+                     std::function<void()> done);
+    /** True once the window's fetch budget is spent. */
+    bool fetchLimitHit() const
+    { return fetchStopAt != 0 && windowFetched_ >= fetchStopAt; }
+
     void fetchStage();
     void issueStage();
     void vecDispatchStage();
@@ -154,6 +191,12 @@ class BigCore : public Clocked
 
     bool running = false;
     bool haltSeen = false;
+    /** Window fetch budget (0 = unlimited) and fetches so far. */
+    std::uint64_t fetchStopAt = 0;
+    std::uint64_t windowFetched_ = 0;
+    std::uint64_t markFetchAt = 0;
+    Tick windowLastFetch_ = 0;
+    Tick windowMark_ = 0;
 
     // front end
     GsharePredictor bpred;

@@ -49,6 +49,22 @@ class GsharePredictor
         history = 0;
     }
 
+    // --- checkpoint access (DESIGN.md §15) ---------------------------
+
+    unsigned tableIndexBits() const { return indexBits; }
+    const std::vector<std::uint8_t> &rawTable() const { return table; }
+    std::uint32_t rawHistory() const { return history; }
+
+    /** Restore counters + history saved from an identical geometry. */
+    void
+    restore(const std::vector<std::uint8_t> &t, std::uint32_t h)
+    {
+        if (t.size() == table.size()) {
+            table = t;
+            history = h & ((1u << indexBits) - 1);
+        }
+    }
+
   private:
     unsigned
     index(std::uint64_t pc) const

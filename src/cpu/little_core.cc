@@ -28,24 +28,20 @@ LittleCore::LittleCore(ClockDomain &cd, StatGroup &sg, MemSystem &ms,
 }
 
 void
-LittleCore::runProgram(ProgramPtr program,
-                       const std::vector<std::pair<RegId, std::uint64_t>>
-                           &args,
-                       std::function<void()> done)
+LittleCore::beginWindow(ProgramPtr program, std::uint64_t maxFetch,
+                        std::function<void()> done)
 {
-    bvl_assert(!running, "little%u: runProgram while busy", id);
+    bvl_assert(!running, "little%u: window start while busy", id);
     prog = std::move(program);
     onDone = std::move(done);
-    arch.reset();
-    for (const auto &[reg, value] : args) {
-        if (isFReg(reg))
-            arch.setF(reg, value);
-        else
-            arch.setX(reg, value);
-    }
     running = true;
     haltSeen = false;
     haltIssued = false;
+    fetchStopAt = maxFetch;
+    windowFetched_ = 0;
+    markFetchAt = 0;
+    windowLastFetch_ = clock().eventQueue().now();
+    windowMark_ = 0;
     fetchQueue.clear();
     fetchBuf.reset();
     fetchStallUntil = 0;
@@ -54,9 +50,36 @@ LittleCore::runProgram(ProgramPtr program,
     fuBusyUntil.fill(0);
     outstandingLoads = 0;
     outstandingStores = 0;
+    activate();
+}
+
+void
+LittleCore::runProgram(ProgramPtr program,
+                       const std::vector<std::pair<RegId, std::uint64_t>>
+                           &args,
+                       std::function<void()> done)
+{
+    arch.reset();
+    for (const auto &[reg, value] : args) {
+        if (isFReg(reg))
+            arch.setF(reg, value);
+        else
+            arch.setX(reg, value);
+    }
+    beginWindow(std::move(program), 0, std::move(done));
     if (check)
         check->onProgramStart(this, prog.get(), arch);
-    activate();
+}
+
+void
+LittleCore::runWindow(ProgramPtr program, std::uint64_t maxFetch,
+                      std::function<void()> done,
+                      std::uint64_t markFetch)
+{
+    // Architectural state is left exactly as the caller seeded it
+    // (fast-forward / checkpoint restore).
+    beginWindow(std::move(program), maxFetch, std::move(done));
+    markFetchAt = markFetch;
 }
 
 void
@@ -69,7 +92,7 @@ void
 LittleCore::fetchStage()
 {
     auto &eq = clock().eventQueue();
-    if (haltSeen || fetchStallUntil > eq.now() ||
+    if (haltSeen || fetchLimitHit() || fetchStallUntil > eq.now() ||
         fetchQueue.size() >= p.fetchQueueDepth) {
         return;
     }
@@ -88,6 +111,10 @@ LittleCore::fetchStage()
     if (trace)
         fetchQueue.back().fetchTick = eq.now();
     sFetched++;
+    ++windowFetched_;
+    windowLastFetch_ = eq.now();
+    if (windowFetched_ == markFetchAt)
+        windowMark_ = eq.now();
 
     const ExecTrace &t = fetchQueue.back().trace;
     if (t.inst->op == Op::halt)
@@ -212,7 +239,8 @@ LittleCore::setTracer(Tracer *t)
 void
 LittleCore::maybeFinish()
 {
-    if (!running || !haltIssued)
+    bool windowDone = fetchLimitHit() && fetchQueue.empty();
+    if (!running || !(haltIssued || windowDone))
         return;
     if (outstandingLoads != 0 || outstandingStores != 0)
         return;

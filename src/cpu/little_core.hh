@@ -60,9 +60,31 @@ class LittleCore : public Clocked
                         &args,
                     std::function<void()> done);
 
+    /**
+     * Run a detailed window over at most @p maxFetch dynamic
+     * instructions without resetting architectural state; the
+     * fast-forward engine seeds ArchState functionally first
+     * (DESIGN.md §15). @p maxFetch == 0 means run to the halt.
+     */
+    void runWindow(ProgramPtr prog, std::uint64_t maxFetch,
+                   std::function<void()> done,
+                   std::uint64_t markFetch = 0);
+
     bool busy() const { return running; }
     unsigned coreId() const { return id; }
     ArchState &archState() { return arch; }
+
+    /** Instructions fetched by the current/last window. */
+    std::uint64_t windowFetched() const { return windowFetched_; }
+    /**
+     * Tick of the window's last fetch. Sampled measurement spans
+     * window start to here, so the end-of-window drain — simulated
+     * only to leave consistent state behind — is not attributed to
+     * the measured instructions.
+     */
+    Tick windowLastFetchTick() const { return windowLastFetch_; }
+    /** Tick of the runWindow() markFetch'th fetch (0 = never hit). */
+    Tick windowMarkTick() const { return windowMark_; }
 
     /** Dynamic instructions retired by this core. */
     std::uint64_t retired() const { return numRetired; }
@@ -97,6 +119,13 @@ class LittleCore : public Clocked
         Tick fetchTick = 0;
     };
 
+    /** Shared pipeline reset + start of runProgram()/runWindow(). */
+    void beginWindow(ProgramPtr prog, std::uint64_t maxFetch,
+                     std::function<void()> done);
+    /** True once the window's fetch budget is spent. */
+    bool fetchLimitHit() const
+    { return fetchStopAt != 0 && windowFetched_ >= fetchStopAt; }
+
     void fetchStage();
     bool issueStage();
     void recordStall(StallCause cause);
@@ -122,6 +151,12 @@ class LittleCore : public Clocked
     bool running = false;
     bool haltSeen = false;     ///< halt fetched; stop fetching
     bool haltIssued = false;
+    /** Window fetch budget (0 = unlimited) and fetches so far. */
+    std::uint64_t fetchStopAt = 0;
+    std::uint64_t windowFetched_ = 0;
+    std::uint64_t markFetchAt = 0;
+    Tick windowLastFetch_ = 0;
+    Tick windowMark_ = 0;
 
     // fetch state
     std::deque<PendingInst> fetchQueue;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "sim/logging.hh"
 
@@ -117,6 +118,23 @@ sext(std::uint64_t v, unsigned ew)
 {
     unsigned shift = 64 - ew * 8;
     return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+/**
+ * Run @p body with the element width as a compile-time constant (the
+ * only legal widths are 4 and 8). The per-element loops below are the
+ * functional model's hot path — fast-forward executes whole vector
+ * programs through them — and a constant width turns every
+ * vecGet/vecSet memcpy into a single fixed-size load or store.
+ */
+template <typename Body>
+inline void
+withEw(unsigned ew, Body &&body)
+{
+    if (ew == 4)
+        body(std::integral_constant<unsigned, 4>{});
+    else
+        body(std::integral_constant<unsigned, 8>{});
 }
 
 } // namespace
@@ -343,35 +361,42 @@ stepOne(ArchState &st, const Program &prog, BackingStore &mem)
       case Op::vrem: case Op::vmin: case Op::vmax: case Op::vand:
       case Op::vor: case Op::vxor: case Op::vsll: case Op::vsrl:
       case Op::vsra: {
-        unsigned ew = st.sew;
-        for (unsigned i = 0; i < st.vl; ++i) {
-            if (!st.active(in, i))
-                continue;
-            std::uint64_t a = std::uint64_t(st.vecGetS(in.rs1, i, ew));
-            std::uint64_t b = in.vsrc == VSrc2::vv
-                ? std::uint64_t(st.vecGetS(in.rs2, i, ew))
-                : vecScalarSrc();
-            st.vecSet(in.rd, i, ew, truncTo(intBinOp(in.op, a, b), ew));
-        }
+        bool vv = in.vsrc == VSrc2::vv;
+        std::uint64_t sb = vv ? 0 : vecScalarSrc();
+        withEw(st.sew, [&](auto ewc) {
+            constexpr unsigned ew = decltype(ewc)::value;
+            for (unsigned i = 0; i < st.vl; ++i) {
+                if (!st.active(in, i))
+                    continue;
+                auto a = std::uint64_t(st.vecGetS(in.rs1, i, ew));
+                std::uint64_t b =
+                    vv ? std::uint64_t(st.vecGetS(in.rs2, i, ew)) : sb;
+                st.vecSet(in.rd, i, ew,
+                          truncTo(intBinOp(in.op, a, b), ew));
+            }
+        });
         break;
       }
 
       // ----- vector FP -----------------------------------------------------
       case Op::vfadd: case Op::vfsub: case Op::vfmul: case Op::vfdiv:
       case Op::vfmin: case Op::vfmax: {
-        unsigned ew = st.sew;
-        for (unsigned i = 0; i < st.vl; ++i) {
-            if (!st.active(in, i))
-                continue;
-            double a = bitsToFp(st.vecGet(in.rs1, i, ew), ew);
-            double b = in.vsrc == VSrc2::vv
-                ? bitsToFp(st.vecGet(in.rs2, i, ew), ew)
-                : bitsToFp(vecScalarSrc(), ew);
-            double r = fpBinOp(in.op, a, b);
-            if (ew == 4)
-                r = static_cast<float>(r);
-            st.vecSet(in.rd, i, ew, fpToBits(r, ew));
-        }
+        bool vv = in.vsrc == VSrc2::vv;
+        double sb = vv ? 0.0 : bitsToFp(vecScalarSrc(), st.sew);
+        withEw(st.sew, [&](auto ewc) {
+            constexpr unsigned ew = decltype(ewc)::value;
+            for (unsigned i = 0; i < st.vl; ++i) {
+                if (!st.active(in, i))
+                    continue;
+                double a = bitsToFp(st.vecGet(in.rs1, i, ew), ew);
+                double b =
+                    vv ? bitsToFp(st.vecGet(in.rs2, i, ew), ew) : sb;
+                double r = fpBinOp(in.op, a, b);
+                if (ew == 4)
+                    r = static_cast<float>(r);
+                st.vecSet(in.rd, i, ew, fpToBits(r, ew));
+            }
+        });
         break;
       }
       case Op::vfsqrt: {
@@ -385,20 +410,24 @@ stepOne(ArchState &st, const Program &prog, BackingStore &mem)
         break;
       }
       case Op::vfmacc: case Op::vfnmsac: {
-        unsigned ew = st.sew;
-        for (unsigned i = 0; i < st.vl; ++i) {
-            if (!st.active(in, i))
-                continue;
-            double a = bitsToFp(st.vecGet(in.rs1, i, ew), ew);
-            double b = in.vsrc == VSrc2::vv
-                ? bitsToFp(st.vecGet(in.rs2, i, ew), ew)
-                : bitsToFp(vecScalarSrc(), ew);
-            double acc = bitsToFp(st.vecGet(in.rd, i, ew), ew);
-            double r = in.op == Op::vfmacc ? acc + a * b : acc - a * b;
-            if (ew == 4)
-                r = static_cast<float>(r);
-            st.vecSet(in.rd, i, ew, fpToBits(r, ew));
-        }
+        bool vv = in.vsrc == VSrc2::vv;
+        bool macc = in.op == Op::vfmacc;
+        double sb = vv ? 0.0 : bitsToFp(vecScalarSrc(), st.sew);
+        withEw(st.sew, [&](auto ewc) {
+            constexpr unsigned ew = decltype(ewc)::value;
+            for (unsigned i = 0; i < st.vl; ++i) {
+                if (!st.active(in, i))
+                    continue;
+                double a = bitsToFp(st.vecGet(in.rs1, i, ew), ew);
+                double b =
+                    vv ? bitsToFp(st.vecGet(in.rs2, i, ew), ew) : sb;
+                double acc = bitsToFp(st.vecGet(in.rd, i, ew), ew);
+                double r = macc ? acc + a * b : acc - a * b;
+                if (ew == 4)
+                    r = static_cast<float>(r);
+                st.vecSet(in.rd, i, ew, fpToBits(r, ew));
+            }
+        });
         break;
       }
 
@@ -511,16 +540,28 @@ stepOne(ArchState &st, const Program &prog, BackingStore &mem)
       case Op::vle: case Op::vlse: case Op::vluxei: {
         unsigned ew = in.ew;
         Addr base = st.getX(in.rs1);
-        std::int64_t stride = in.op == Op::vlse
-            ? static_cast<std::int64_t>(st.getX(in.rs2)) : ew;
-        for (unsigned i = 0; i < st.vl; ++i) {
-            if (!st.active(in, i))
-                continue;
-            Addr addr = in.op == Op::vluxei
-                ? base + st.vecGet(in.rs2, i, ew)
-                : base + Addr(stride) * i;
-            st.vecSet(in.rd, i, ew, mem.readInt(addr, ew));
-            tr.elemAddrs.push_back(addr);
+        tr.elemAddrs.reserve(st.vl);
+        if (in.op == Op::vle && !in.masked) {
+            // Unit-stride unmasked: the destination elements are
+            // contiguous bytes, so one block read replaces vl
+            // element-granular loads. The element addresses are still
+            // recorded individually — the VMU timing model and the
+            // cache-warming pass consume them per element.
+            mem.read(base, st.vecData(in.rd), std::size_t(st.vl) * ew);
+            for (unsigned i = 0; i < st.vl; ++i)
+                tr.elemAddrs.push_back(base + Addr(ew) * i);
+        } else {
+            std::int64_t stride = in.op == Op::vlse
+                ? static_cast<std::int64_t>(st.getX(in.rs2)) : ew;
+            for (unsigned i = 0; i < st.vl; ++i) {
+                if (!st.active(in, i))
+                    continue;
+                Addr addr = in.op == Op::vluxei
+                    ? base + st.vecGet(in.rs2, i, ew)
+                    : base + Addr(stride) * i;
+                st.vecSet(in.rd, i, ew, mem.readInt(addr, ew));
+                tr.elemAddrs.push_back(addr);
+            }
         }
         tr.isMem = true;
         tr.size = static_cast<std::uint8_t>(ew);
@@ -530,16 +571,23 @@ stepOne(ArchState &st, const Program &prog, BackingStore &mem)
         unsigned ew = in.ew;
         Addr base = st.getX(in.rs1);
         RegId data = in.op == Op::vse ? in.rs2 : in.rs3;
-        std::int64_t stride = in.op == Op::vsse
-            ? static_cast<std::int64_t>(st.getX(in.rs2)) : ew;
-        for (unsigned i = 0; i < st.vl; ++i) {
-            if (!st.active(in, i))
-                continue;
-            Addr addr = in.op == Op::vsuxei
-                ? base + st.vecGet(in.rs2, i, ew)
-                : base + Addr(stride) * i;
-            mem.writeInt(addr, st.vecGet(data, i, ew), ew);
-            tr.elemAddrs.push_back(addr);
+        tr.elemAddrs.reserve(st.vl);
+        if (in.op == Op::vse && !in.masked) {
+            mem.write(base, st.vecData(data), std::size_t(st.vl) * ew);
+            for (unsigned i = 0; i < st.vl; ++i)
+                tr.elemAddrs.push_back(base + Addr(ew) * i);
+        } else {
+            std::int64_t stride = in.op == Op::vsse
+                ? static_cast<std::int64_t>(st.getX(in.rs2)) : ew;
+            for (unsigned i = 0; i < st.vl; ++i) {
+                if (!st.active(in, i))
+                    continue;
+                Addr addr = in.op == Op::vsuxei
+                    ? base + st.vecGet(in.rs2, i, ew)
+                    : base + Addr(stride) * i;
+                mem.writeInt(addr, st.vecGet(data, i, ew), ew);
+                tr.elemAddrs.push_back(addr);
+            }
         }
         tr.isMem = true;
         tr.isStore = true;

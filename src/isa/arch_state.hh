@@ -15,6 +15,8 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "isa/instr.hh"
@@ -177,6 +179,59 @@ class ArchState
     vecRaw(RegId r) const
     {
         return v[regIndex(r)];
+    }
+
+    /** Mutable raw bytes; elements are contiguous at width ew, so
+     *  unit-stride vector memory moves whole [0, vl*ew) spans. */
+    std::uint8_t *vecData(RegId r) { return v[regIndex(r)].data(); }
+
+    // --- checkpoint serialization (DESIGN.md §15) ----------------------
+
+    /** Bytes dumpState() appends: x, f, v, pc, vl, sew, halted. */
+    static constexpr std::size_t dumpedBytes =
+        numXRegs * 8 + numFRegs * 8 + numVRegs * maxVlenBytes + 8 + 4 +
+        1 + 1;
+
+    /** Append a fixed-layout little-endian snapshot of every
+     *  architectural register to @p out. */
+    void
+    dumpState(std::string &out) const
+    {
+        auto put = [&](const void *p, std::size_t n) {
+            out.append(static_cast<const char *>(p), n);
+        };
+        put(x.data(), numXRegs * 8);
+        put(f.data(), numFRegs * 8);
+        for (const auto &reg : v)
+            put(reg.data(), maxVlenBytes);
+        put(&pc, 8);
+        put(&vl, 4);
+        put(&sew, 1);
+        std::uint8_t h = halted ? 1 : 0;
+        put(&h, 1);
+    }
+
+    /** Inverse of dumpState(); @p len must be exactly dumpedBytes. */
+    bool
+    loadState(const char *data, std::size_t len)
+    {
+        if (len != dumpedBytes)
+            return false;
+        auto get = [&](void *p, std::size_t n) {
+            std::memcpy(p, data, n);
+            data += n;
+        };
+        get(x.data(), numXRegs * 8);
+        get(f.data(), numFRegs * 8);
+        for (auto &reg : v)
+            get(reg.data(), maxVlenBytes);
+        get(&pc, 8);
+        get(&vl, 4);
+        get(&sew, 1);
+        std::uint8_t h = 0;
+        get(&h, 1);
+        halted = h != 0;
+        return true;
     }
 
     // --- public architectural state ------------------------------------

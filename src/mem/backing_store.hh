@@ -33,37 +33,28 @@ class BackingStore
     void
     read(Addr addr, void *out, std::size_t n) const
     {
-        auto *dst = static_cast<std::uint8_t *>(out);
-        while (n > 0) {
-            Addr off = addr & (pageBytes - 1);
-            std::size_t chunk = std::min<std::size_t>(n, pageBytes - off);
-            auto it = pages.find(addr >> pageShift);
-            if (it == pages.end())
-                std::memset(dst, 0, chunk);
-            else
-                std::memcpy(dst, it->second.data() + off, chunk);
-            dst += chunk;
-            addr += chunk;
-            n -= chunk;
+        // Fast path: the access stays inside the most recently touched
+        // page. Fast-forward executes whole vector loops against this
+        // store element by element, so the hit rate is near 100% and
+        // the hash lookup below is the dominant cost it avoids.
+        Addr off = addr & (pageBytes - 1);
+        if ((addr >> pageShift) == cachedPage && off + n <= pageBytes) {
+            std::memcpy(out, cachedData + off, n);
+            return;
         }
+        readSlow(addr, out, n);
     }
 
     /** Write @p n bytes from @p src at @p addr. */
     void
     write(Addr addr, const void *src, std::size_t n)
     {
-        auto *p = static_cast<const std::uint8_t *>(src);
-        while (n > 0) {
-            Addr off = addr & (pageBytes - 1);
-            std::size_t chunk = std::min<std::size_t>(n, pageBytes - off);
-            auto &page = pages[addr >> pageShift];
-            if (page.empty())
-                page.resize(pageBytes, 0);
-            std::memcpy(page.data() + off, p, chunk);
-            p += chunk;
-            addr += chunk;
-            n -= chunk;
+        Addr off = addr & (pageBytes - 1);
+        if ((addr >> pageShift) == cachedPage && off + n <= pageBytes) {
+            std::memcpy(cachedData + off, src, n);
+            return;
         }
+        writeSlow(addr, src, n);
     }
 
     /** Typed read of a trivially copyable value. */
@@ -107,8 +98,75 @@ class BackingStore
     /** Number of allocated pages (for tests / memory accounting). */
     std::size_t allocatedPages() const { return pages.size(); }
 
+    /** Page map, keyed by page number (addr >> pageShift). Exposed so
+     *  checkpointing can serialize the memory image (DESIGN.md §15). */
+    const std::unordered_map<Addr, std::vector<std::uint8_t>> &
+    pageMap() const { return pages; }
+
+    /** Drop every page (checkpoint restore rewrites the full image). */
+    void
+    clear()
+    {
+        pages.clear();
+        cachedPage = ~Addr(0);
+        cachedData = nullptr;
+    }
+
   private:
+    void
+    readSlow(Addr addr, void *out, std::size_t n) const
+    {
+        auto *dst = static_cast<std::uint8_t *>(out);
+        while (n > 0) {
+            Addr off = addr & (pageBytes - 1);
+            std::size_t chunk = std::min<std::size_t>(n, pageBytes - off);
+            auto it = pages.find(addr >> pageShift);
+            if (it == pages.end()) {
+                // Unallocated pages read as zero but are not cached:
+                // a later write would allocate behind the cache's back.
+                std::memset(dst, 0, chunk);
+            } else {
+                std::memcpy(dst, it->second.data() + off, chunk);
+                cachedPage = addr >> pageShift;
+                cachedData = const_cast<std::uint8_t *>(
+                    it->second.data());
+            }
+            dst += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    void
+    writeSlow(Addr addr, const void *src, std::size_t n)
+    {
+        auto *p = static_cast<const std::uint8_t *>(src);
+        while (n > 0) {
+            Addr off = addr & (pageBytes - 1);
+            std::size_t chunk = std::min<std::size_t>(n, pageBytes - off);
+            auto &page = pages[addr >> pageShift];
+            if (page.empty())
+                page.resize(pageBytes, 0);
+            std::memcpy(page.data() + off, p, chunk);
+            // The buffer address is stable across map rehashes (the
+            // vector owns it on the heap), so caching it is safe until
+            // clear().
+            cachedPage = addr >> pageShift;
+            cachedData = page.data();
+            p += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
     std::unordered_map<Addr, std::vector<std::uint8_t>> pages;
+    /**
+     * One-entry page cache for the element-granular functional
+     * accesses (mutable: a read warms it). A Soc is single-threaded,
+     * so this needs no synchronization; sweeps build one Soc per job.
+     */
+    mutable Addr cachedPage = ~Addr(0);
+    mutable std::uint8_t *cachedData = nullptr;
 };
 
 } // namespace bvl

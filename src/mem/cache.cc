@@ -80,6 +80,20 @@ Cache::invalidate(Addr lineAddr)
 }
 
 void
+Cache::warmInvalidate(Addr lineAddr)
+{
+    Addr lineNum = lineOf(lineAlign(lineAddr));
+    auto it = lineMap.find(lineNum);
+    if (it == lineMap.end())
+        return;
+    if (Way *way = findWay(lineNum, it->second)) {
+        way->valid = false;
+        way->dirty = false;
+    }
+    lineMap.erase(it);
+}
+
+void
 Cache::registerInvariants(InvariantRegistry &reg)
 {
     // O(1) structural checks only: invariant sweeps run at retire
@@ -252,6 +266,12 @@ Cache::handleMiss(Addr lineNum, bool isWrite, MemCallback done,
 void
 Cache::fill(Addr lineNum, bool isWrite)
 {
+    installLine(lineNum, isWrite, /*warm=*/false);
+}
+
+void
+Cache::installLine(Addr lineNum, bool isWrite, bool warm)
+{
     // If this cache already holds the line under the *other* indexing
     // mode (mode switched while it was resident), drop the stale copy:
     // the coherence protocol migrates the line to its new home set.
@@ -277,13 +297,19 @@ Cache::fill(Addr lineNum, bool isWrite)
     bvl_assert(victim, "%s: no victim way", p.name.c_str());
 
     if (victim->valid) {
-        sEvictions++;
         lineMap.erase(victim->line);
         next->evicted(l1Id, victim->line << lineShift);
+        if (!warm)
+            sEvictions++;
         if (victim->dirty) {
-            sWritebacks++;
-            next->request(l1Id, victim->line << lineShift, true,
-                          MemCallback());
+            if (warm) {
+                next->warmRequest(l1Id, victim->line << lineShift,
+                                  true);
+            } else {
+                sWritebacks++;
+                next->request(l1Id, victim->line << lineShift, true,
+                              MemCallback());
+            }
         }
     }
 
@@ -292,7 +318,59 @@ Cache::fill(Addr lineNum, bool isWrite)
     victim->dirty = isWrite;
     victim->lastUse = clock.eventQueue().now();
     lineMap[lineNum] = set;
-    sFills++;
+    if (!warm)
+        sFills++;
+}
+
+void
+Cache::warmAccess(Addr addr, bool isWrite)
+{
+    Addr lineNum = lineOf(lineAlign(addr));
+    unsigned set = setIndex(lineNum);
+    if (Way *way = findWay(lineNum, set)) {
+        way->lastUse = clock.eventQueue().now();
+        way->dirty |= isWrite;
+        return;
+    }
+    // Mirror the timed miss path's directory order: the next level
+    // sees the line request before this cache installs it.
+    next->warmRequest(l1Id, lineNum << lineShift, isWrite);
+    installLine(lineNum, isWrite, /*warm=*/true);
+}
+
+std::vector<Cache::WayState>
+Cache::dumpWays() const
+{
+    std::vector<WayState> out;
+    out.reserve(static_cast<std::size_t>(numSets) * p.assoc);
+    for (const auto &set : sets)
+        for (const auto &way : set)
+            out.push_back({way.valid, way.dirty, way.line,
+                           way.lastUse});
+    return out;
+}
+
+bool
+Cache::loadWays(const std::vector<WayState> &ways)
+{
+    if (ways.size() != static_cast<std::size_t>(numSets) * p.assoc)
+        return false;
+    bvl_assert(mshrs.empty() && pendingQueue.empty(),
+               "%s: loadWays on a busy cache", p.name.c_str());
+    lineMap.clear();
+    std::size_t i = 0;
+    for (unsigned s = 0; s < numSets; ++s) {
+        for (auto &way : sets[s]) {
+            const WayState &ws = ways[i++];
+            way.valid = ws.valid;
+            way.dirty = ws.dirty;
+            way.line = ws.line;
+            way.lastUse = ws.lastUse;
+            if (way.valid)
+                lineMap[way.line] = s;
+        }
+    }
+    return true;
 }
 
 void

@@ -66,6 +66,19 @@ class MemLevel
     virtual void evicted(int requesterId, Addr lineAddr) {
         (void)requesterId; (void)lineAddr;
     }
+
+    /**
+     * Timing-free counterpart of request() for fast-forward cache
+     * warming (DESIGN.md §15): propagate the line functionally —
+     * directory bookkeeping, next-level tag/LRU update — with no
+     * events, callbacks or stats. Default no-op (DRAM keeps no
+     * warmable state: the model is fixed-latency with no row
+     * tracking).
+     */
+    virtual void warmRequest(int requesterId, Addr lineAddr,
+                             bool isWrite) {
+        (void)requesterId; (void)lineAddr; (void)isWrite;
+    }
 };
 
 class Cache
@@ -84,8 +97,45 @@ class Cache
     void setIndexMode(IndexMode mode) { indexMode = mode; }
     IndexMode getIndexMode() const { return indexMode; }
 
+    /**
+     * Functional (timing-free) access for fast-forward cache warming
+     * (DESIGN.md §15): updates tags, LRU and dirty bits exactly like
+     * the timed hit/fill paths — including stale-mode drop, victim
+     * selection, eviction notification and dirty writeback through
+     * MemLevel::warmRequest — but schedules no events, allocates no
+     * MSHRs and increments no stats, so a warmed-then-run simulation
+     * is byte-identical to one restored from a checkpoint of the same
+     * warm state.
+     */
+    void warmAccess(Addr addr, bool isWrite);
+
+    /** Flat snapshot of one way (checkpoint payload, DESIGN.md §15). */
+    struct WayState
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr line = 0;
+        Tick lastUse = 0;
+    };
+
+    /** Set-major (sets x assoc) dump of every way's tag state. */
+    std::vector<WayState> dumpWays() const;
+
+    /**
+     * Restore tag state saved by dumpWays() from an identical
+     * geometry; rebuilds the line map. Only valid on an idle cache
+     * (no MSHRs, no pending requests). Returns false — leaving the
+     * cache untouched — on a geometry mismatch.
+     */
+    bool loadWays(const std::vector<WayState> &ways);
+
+    unsigned setCount() const { return numSets; }
+
     /** Drop a line (directory invalidation); no timing charged here. */
     void invalidate(Addr lineAddr);
+
+    /** invalidate() for the warm path: same tag effect, no stats. */
+    void warmInvalidate(Addr lineAddr);
 
     /** Tag-only presence check under the current mode (tests). */
     bool probe(Addr addr) const;
@@ -142,6 +192,8 @@ class Cache
     Way *findWay(Addr lineNum, unsigned set);
     const Way *findWay(Addr lineNum, unsigned set) const;
     void fill(Addr lineNum, bool isWrite);
+    /** Shared line-install path of fill() and warmAccess(). */
+    void installLine(Addr lineNum, bool isWrite, bool warm);
     void handleMiss(Addr lineNum, bool isWrite, MemCallback done,
                     Tick readyTick);
     void issuePending();

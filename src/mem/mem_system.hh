@@ -119,6 +119,33 @@ class L2Front : public MemLevel
         }
     }
 
+    void
+    warmRequest(int requesterId, Addr lineAddr, bool isWrite) override
+    {
+        // Functional mirror of request(): same directory bookkeeping
+        // (invalidate other sharers on a write, record the requester),
+        // then a warm tag/LRU update of the L2 itself — but no events,
+        // penalties or stats (DESIGN.md §15).
+        Addr lineNum = lineOf(lineAddr);
+        if (isWrite) {
+            auto it = sharers.find(lineNum);
+            if (it != sharers.end()) {
+                std::uint32_t others = it->second;
+                if (requesterId >= 0)
+                    others &= ~(1u << requesterId);
+                if (others != 0) {
+                    for (unsigned i = 0; i < l1ds.size(); ++i)
+                        if (others & (1u << i))
+                            l1ds[i]->warmInvalidate(lineAddr);
+                    it->second &= ~others;
+                }
+            }
+        }
+        if (requesterId >= 0)
+            sharers[lineNum] |= (1u << requesterId);
+        cache.warmAccess(lineAddr, isWrite);
+    }
+
     Cache &l2cache() { return cache; }
 
     /** Sharer bitmask of a line (tests). */
@@ -127,6 +154,17 @@ class L2Front : public MemLevel
     {
         auto it = sharers.find(lineOf(lineAddr));
         return it == sharers.end() ? 0 : it->second;
+    }
+
+    /** Full directory state (checkpointing, DESIGN.md §15). */
+    const std::unordered_map<Addr, std::uint32_t> &
+    sharerMap() const { return sharers; }
+
+    /** Replace the directory state (checkpoint restore). */
+    void
+    loadSharers(std::unordered_map<Addr, std::uint32_t> s)
+    {
+        sharers = std::move(s);
     }
 
   private:
@@ -171,6 +209,35 @@ class MemSystem
 
     /** Bank selection for an address (paper's interleaving). */
     unsigned bankOf(Addr addr) const { return bankMap.bankOf(addr); }
+
+    // --- functional warm-up (fast-forward engine, DESIGN.md §15) -----
+
+    /** Warm the instruction-fetch path of core @p coreId. */
+    void
+    warmFetch(unsigned coreId, Addr addr)
+    {
+        if (coreId == bigCoreId())
+            bigL1Ic->warmAccess(addr, false);
+        else
+            littleL1Is[coreId]->warmAccess(addr, false);
+    }
+
+    /** Warm the scalar data path of core @p coreId. */
+    void
+    warmData(unsigned coreId, Addr addr, bool isWrite)
+    {
+        if (coreId == bigCoreId())
+            bigL1Dc->warmAccess(addr, isWrite);
+        else
+            littleL1Ds[coreId]->warmAccess(addr, isWrite);
+    }
+
+    /** Warm the L2 + directory directly (vector element traffic). */
+    void
+    warmL2(Addr addr, bool isWrite)
+    {
+        l2front->warmRequest(-1, lineAlign(addr), isWrite);
+    }
 
     /** Attach a fault injector to every cache and the DRAM channel. */
     void setFaultInjector(FaultInjector *inj);

@@ -1,0 +1,442 @@
+#include "soc/checkpoint.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/check/json.hh"
+#include "sim/logging.hh"
+#include "sweep/service/digest.hh"
+
+namespace bvl
+{
+
+namespace
+{
+
+constexpr const char *kSchema = "bvl-checkpoint-v1";
+constexpr unsigned kVersion = 1;
+
+/** Executing core of a single-stream run: littles[0] for 1L, else big. */
+ArchState &
+execArch(Soc &soc)
+{
+    return soc.design() == Design::d1L ? soc.littles[0]->archState()
+                                       : soc.big->archState();
+}
+
+GsharePredictor *
+execBpred(Soc &soc)
+{
+    return soc.design() == Design::d1L ? nullptr
+                                       : &soc.big->predictor();
+}
+
+/**
+ * Every cache of the hierarchy in a fixed, design-determined order:
+ * little L1Is, little L1Ds, big L1I, big L1D, L2. Save and load use
+ * the same order, so position identifies the cache.
+ */
+std::vector<Cache *>
+allCaches(Soc &soc)
+{
+    std::vector<Cache *> cs;
+    unsigned n = soc.mem.numLittle();
+    for (unsigned i = 0; i < n; ++i)
+        cs.push_back(&soc.mem.littleL1I(i));
+    for (unsigned i = 0; i < n; ++i)
+        cs.push_back(&soc.mem.littleL1D(i));
+    cs.push_back(&soc.mem.bigL1I());
+    cs.push_back(&soc.mem.bigL1D());
+    cs.push_back(&soc.mem.l2().l2cache());
+    return cs;
+}
+
+// --- little-endian payload writer/reader --------------------------------
+
+void put8(std::string &out, std::uint8_t v) { out.push_back(char(v)); }
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), 4);
+}
+
+void
+put64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), 8);
+}
+
+/** Bounds-checked sequential reader over the payload bytes. */
+struct Reader
+{
+    const char *p;
+    const char *end;
+    bool ok = true;
+
+    bool
+    take(void *out, std::size_t n)
+    {
+        if (!ok || std::size_t(end - p) < n) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(out, p, n);
+        p += n;
+        return true;
+    }
+
+    std::uint8_t get8() { std::uint8_t v = 0; take(&v, 1); return v; }
+    std::uint32_t get32() { std::uint32_t v = 0; take(&v, 4); return v; }
+    std::uint64_t get64() { std::uint64_t v = 0; take(&v, 8); return v; }
+};
+
+/** Fully parsed payload, held aside until verification passes. */
+struct Parsed
+{
+    std::string arch;
+
+    bool hasBpred = false;
+    std::uint32_t bpredBits = 0;
+    std::vector<std::uint8_t> bpredTable;
+    std::uint32_t bpredHistory = 0;
+
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> pages;
+
+    struct CacheImage
+    {
+        std::uint8_t indexMode = 0;
+        std::uint32_t numSets = 0;
+        std::uint32_t assoc = 0;
+        std::vector<Cache::WayState> ways;
+    };
+    std::vector<CacheImage> caches;
+
+    std::unordered_map<Addr, std::uint32_t> sharers;
+};
+
+bool
+parsePayload(const std::string &payload, Parsed &out)
+{
+    Reader r{payload.data(), payload.data() + payload.size()};
+
+    std::uint64_t archBytes = r.get64();
+    if (!r.ok || archBytes != ArchState::dumpedBytes ||
+        std::size_t(r.end - r.p) < archBytes) {
+        return false;
+    }
+    out.arch.assign(r.p, archBytes);
+    r.p += archBytes;
+
+    out.hasBpred = r.get8() != 0;
+    if (out.hasBpred) {
+        out.bpredBits = r.get32();
+        std::uint32_t tableSize = r.get32();
+        if (!r.ok || tableSize > (1u << 24) ||
+            std::size_t(r.end - r.p) < tableSize) {
+            return false;
+        }
+        out.bpredTable.resize(tableSize);
+        r.take(out.bpredTable.data(), tableSize);
+        out.bpredHistory = r.get32();
+    }
+
+    std::uint64_t pageCount = r.get64();
+    if (!r.ok ||
+        pageCount > std::uint64_t(r.end - r.p) /
+                        (8 + BackingStore::pageBytes)) {
+        return false;
+    }
+    out.pages.reserve(pageCount);
+    for (std::uint64_t i = 0; i < pageCount; ++i) {
+        Addr pageNum = r.get64();
+        std::vector<std::uint8_t> bytes(BackingStore::pageBytes);
+        if (!r.take(bytes.data(), bytes.size()))
+            return false;
+        out.pages.emplace_back(pageNum, std::move(bytes));
+    }
+
+    std::uint32_t cacheCount = r.get32();
+    if (!r.ok || cacheCount > 1024)
+        return false;
+    out.caches.resize(cacheCount);
+    for (auto &c : out.caches) {
+        c.indexMode = r.get8();
+        c.numSets = r.get32();
+        c.assoc = r.get32();
+        std::uint64_t ways = std::uint64_t(c.numSets) * c.assoc;
+        if (!r.ok || ways > std::uint64_t(r.end - r.p) / 18)
+            return false;
+        c.ways.resize(ways);
+        for (auto &w : c.ways) {
+            w.valid = r.get8() != 0;
+            w.dirty = r.get8() != 0;
+            w.line = r.get64();
+            w.lastUse = r.get64();
+        }
+    }
+
+    std::uint64_t sharerCount = r.get64();
+    if (!r.ok || sharerCount > std::uint64_t(r.end - r.p) / 12)
+        return false;
+    for (std::uint64_t i = 0; i < sharerCount; ++i) {
+        Addr line = r.get64();
+        std::uint32_t mask = r.get32();
+        out.sharers[line] = mask;
+    }
+
+    return r.ok && r.p == r.end;
+}
+
+} // namespace
+
+const char *
+checkpointStatusName(CheckpointStatus s)
+{
+    switch (s) {
+      case CheckpointStatus::ok: return "ok";
+      case CheckpointStatus::missing: return "missing";
+      case CheckpointStatus::corrupt: return "corrupt";
+      case CheckpointStatus::mismatch: return "mismatch";
+    }
+    return "?";
+}
+
+bool
+saveCheckpoint(const std::string &path, Soc &soc,
+               const std::string &workloadName, std::uint64_t ffInsts,
+               std::string *error)
+{
+    std::string payload;
+
+    // 1. Architectural state of the executing core.
+    std::string archBytes;
+    execArch(soc).dumpState(archBytes);
+    put64(payload, archBytes.size());
+    payload += archBytes;
+
+    // 2. Branch predictor (big-core designs only).
+    GsharePredictor *bp = execBpred(soc);
+    put8(payload, bp ? 1 : 0);
+    if (bp) {
+        put32(payload, bp->tableIndexBits());
+        put32(payload, std::uint32_t(bp->rawTable().size()));
+        payload.append(
+            reinterpret_cast<const char *>(bp->rawTable().data()),
+            bp->rawTable().size());
+        put32(payload, bp->rawHistory());
+    }
+
+    // 3. Memory image, sorted by page number for determinism.
+    std::vector<std::pair<Addr, const std::vector<std::uint8_t> *>>
+        pages;
+    for (const auto &kv : soc.backing.pageMap())
+        pages.emplace_back(kv.first, &kv.second);
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    put64(payload, pages.size());
+    for (const auto &[num, bytes] : pages) {
+        put64(payload, num);
+        payload.append(reinterpret_cast<const char *>(bytes->data()),
+                       bytes->size());
+    }
+
+    // 4. Cache tag/LRU arrays in the fixed allCaches() order.
+    auto caches = allCaches(soc);
+    put32(payload, std::uint32_t(caches.size()));
+    for (Cache *c : caches) {
+        put8(payload, std::uint8_t(c->getIndexMode()));
+        put32(payload, c->setCount());
+        put32(payload, c->params().assoc);
+        for (const auto &w : c->dumpWays()) {
+            put8(payload, w.valid ? 1 : 0);
+            put8(payload, w.dirty ? 1 : 0);
+            put64(payload, w.line);
+            put64(payload, w.lastUse);
+        }
+    }
+
+    // 5. L2 directory sharer bitmaps, sorted by line.
+    std::vector<std::pair<Addr, std::uint32_t>> sharers(
+        soc.mem.l2().sharerMap().begin(),
+        soc.mem.l2().sharerMap().end());
+    std::sort(sharers.begin(), sharers.end());
+    put64(payload, sharers.size());
+    for (const auto &[line, mask] : sharers) {
+        put64(payload, line);
+        put32(payload, mask);
+    }
+
+    Json header = Json::object();
+    header.set("schema", kSchema);
+    header.set("version", kVersion);
+    header.set("design", designName(soc.design()));
+    header.set("workload", workloadName);
+    header.set("ffInsts", ffInsts);
+    header.set("payloadBytes", std::uint64_t(payload.size()));
+    header.set("payloadSha256", sha256Hex(payload));
+
+    std::string text = header.dump(0);
+    text += '\n';
+    text += payload;
+
+    // Atomic publish: temp file, fsync, rename (result-cache idiom).
+    std::error_code ec;
+    auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot open " + tmp;
+        return false;
+    }
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < text.size()) {
+        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            ok = false;
+            break;
+        }
+        off += std::size_t(n);
+    }
+    if (ok)
+        ::fsync(fd);
+    ::close(fd);
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        if (error)
+            *error = "short write of " + tmp;
+        return false;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        ::unlink(tmp.c_str());
+        if (error)
+            *error = "cannot publish " + path + ": " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+CheckpointStatus
+loadCheckpoint(const std::string &path, Soc &soc,
+               const std::string &workloadName, std::string *error)
+{
+    auto fail = [&](CheckpointStatus st, const std::string &why) {
+        if (error)
+            *error = why;
+        return st;
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(CheckpointStatus::missing,
+                    "no checkpoint at " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string data = text.str();
+
+    auto nl = data.find('\n');
+    if (nl == std::string::npos)
+        return fail(CheckpointStatus::corrupt, "missing header line");
+
+    Json header;
+    try {
+        header = Json::parse(data.substr(0, nl));
+    } catch (const SimError &e) {
+        return fail(CheckpointStatus::corrupt,
+                    std::string("bad header: ") + e.what());
+    }
+    if (header["schema"].asString() != kSchema ||
+        header["version"].asU64() != kVersion) {
+        return fail(CheckpointStatus::corrupt,
+                    "unknown schema/version");
+    }
+    if (header["design"].asString() != designName(soc.design()) ||
+        header["workload"].asString() != workloadName) {
+        return fail(CheckpointStatus::mismatch,
+                    "checkpoint is for " +
+                        header["design"].asString() + "/" +
+                        header["workload"].asString() + ", not " +
+                        designName(soc.design()) + "/" + workloadName);
+    }
+
+    std::string payload = data.substr(nl + 1);
+    if (payload.size() != header["payloadBytes"].asU64())
+        return fail(CheckpointStatus::corrupt, "truncated payload");
+    if (sha256Hex(payload) != header["payloadSha256"].asString())
+        return fail(CheckpointStatus::corrupt, "payload digest mismatch");
+
+    Parsed img;
+    if (!parsePayload(payload, img))
+        return fail(CheckpointStatus::corrupt, "malformed payload");
+
+    // Geometry verification before anything is applied.
+    auto caches = allCaches(soc);
+    if (img.caches.size() != caches.size())
+        return fail(CheckpointStatus::mismatch, "cache count differs");
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+        if (img.caches[i].numSets != caches[i]->setCount() ||
+            img.caches[i].assoc != caches[i]->params().assoc ||
+            img.caches[i].indexMode > 1) {
+            return fail(CheckpointStatus::mismatch,
+                        "geometry of " + caches[i]->name() +
+                            " differs");
+        }
+    }
+    GsharePredictor *bp = execBpred(soc);
+    if (img.hasBpred != (bp != nullptr) ||
+        (bp && (img.bpredBits != bp->tableIndexBits() ||
+                img.bpredTable.size() != bp->rawTable().size()))) {
+        return fail(CheckpointStatus::mismatch,
+                    "branch-predictor geometry differs");
+    }
+
+    // --- apply (cannot fail from here on) ---------------------------
+
+    bool archOk = execArch(soc).loadState(img.arch.data(),
+                                          img.arch.size());
+    bvl_assert(archOk, "arch image size verified but load failed");
+    if (bp)
+        bp->restore(img.bpredTable, img.bpredHistory);
+
+    soc.backing.clear();
+    for (const auto &[pageNum, bytes] : img.pages)
+        soc.backing.write(pageNum << BackingStore::pageShift,
+                          bytes.data(), bytes.size());
+
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+        caches[i]->setIndexMode(IndexMode(img.caches[i].indexMode));
+        bool waysOk = caches[i]->loadWays(img.caches[i].ways);
+        bvl_assert(waysOk, "cache geometry verified but load failed");
+    }
+    soc.mem.l2().loadSharers(std::move(img.sharers));
+
+    return CheckpointStatus::ok;
+}
+
+bool
+quarantineCheckpoint(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec) {
+        warn("checkpoint: cannot quarantine %s: %s", path.c_str(),
+             ec.message().c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace bvl

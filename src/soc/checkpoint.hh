@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Versioned, digest-protected checkpoints of one simulated SoC
+ * (DESIGN.md §15).
+ *
+ * A checkpoint captures everything needed to resume detailed timing
+ * from a fast-forwarded point and get byte-identical results:
+ *
+ *  - architectural state of the executing core (registers, pc, vl/sew)
+ *  - the big core's branch predictor (counters + global history)
+ *  - the full backing-store memory image
+ *  - warm microarchitectural state: every cache's tag/dirty/LRU array
+ *    and index mode, and the L2 directory's sharer bitmaps
+ *
+ * Not captured, by construction: MSHRs, pipeline and engine state
+ * (checkpoints are only taken at fast-forward boundaries where all of
+ * those are empty) and DRAM state (the DRAM model is fixed-latency
+ * with no row tracking, so it has nothing warmable).
+ *
+ * On-disk format: one JSON header line
+ *   {"schema":"bvl-checkpoint-v1","version":1,"design":...,
+ *    "workload":...,"ffInsts":N,"payloadBytes":N,"payloadSha256":...}
+ * followed by a raw binary payload in host (little-endian) byte
+ * order. The header's SHA-256 protects the payload: any mismatch —
+ * truncation, bit rot, manual edits — makes loadCheckpoint() report
+ * corrupt, and the caller quarantines the file and re-simulates;
+ * a checkpoint is never silently trusted.
+ */
+
+#ifndef BVL_SOC_CHECKPOINT_HH
+#define BVL_SOC_CHECKPOINT_HH
+
+#include <string>
+
+#include "soc/soc.hh"
+
+namespace bvl
+{
+
+enum class CheckpointStatus
+{
+    ok,        ///< loaded and applied
+    missing,   ///< no file at the path
+    corrupt,   ///< unreadable / bad digest / truncated payload
+    mismatch,  ///< valid file for a different design/workload/geometry
+};
+
+const char *checkpointStatusName(CheckpointStatus s);
+
+/**
+ * Snapshot @p soc to @p path (atomic: temp file + fsync + rename).
+ * @p ffInsts is recorded in the header for provenance. The SoC must
+ * be at a fast-forward boundary (no events in flight). Returns false
+ * and fills @p error on I/O failure.
+ */
+bool saveCheckpoint(const std::string &path, Soc &soc,
+                    const std::string &workloadName,
+                    std::uint64_t ffInsts, std::string *error = nullptr);
+
+/**
+ * Load a checkpoint and apply it to @p soc. The file is fully parsed
+ * and verified (digest, design/workload names, cache geometry) before
+ * anything is applied, so on any non-ok status @p soc is untouched.
+ */
+CheckpointStatus loadCheckpoint(const std::string &path, Soc &soc,
+                                const std::string &workloadName,
+                                std::string *error = nullptr);
+
+/**
+ * Rename a bad checkpoint to "<path>.corrupt" so a retry never picks
+ * it up again. Returns false if the rename failed.
+ */
+bool quarantineCheckpoint(const std::string &path);
+
+} // namespace bvl
+
+#endif // BVL_SOC_CHECKPOINT_HH

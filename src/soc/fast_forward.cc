@@ -1,0 +1,267 @@
+#include "soc/fast_forward.hh"
+
+#include "sim/logging.hh"
+#include "soc/checkpoint.hh"
+
+namespace bvl
+{
+
+FastForwardResult
+fastForward(Soc &soc, ArchState &arch, const Program &prog,
+            std::uint64_t maxInsts, unsigned coreId,
+            GsharePredictor *bpred, bool warm)
+{
+    FastForwardResult res;
+    Addr lastFetchLine = ~Addr(0);
+    while (res.executed < maxInsts) {
+        if (arch.halted || arch.pc >= prog.size())
+            break;
+
+        if (warm) {
+            // One I-side warm per fetched line, as the fetch buffer
+            // would request it.
+            Addr ia = prog.instAddr(arch.pc);
+            if (lineOf(ia) != lastFetchLine) {
+                lastFetchLine = lineOf(ia);
+                soc.mem.warmFetch(coreId, ia);
+            }
+        }
+
+        ExecTrace tr = stepOne(arch, prog, soc.backing);
+        ++res.executed;
+
+        if (bpred && tr.isBranch && tr.inst->op != Op::jump)
+            bpred->update(tr.pc, tr.taken);
+
+        if (warm) {
+            if (!tr.elemAddrs.empty()) {
+                // Vector element traffic reaches the shared L2 in
+                // every engine configuration; per-line dedup matches
+                // the VMU's line-granular requests. The banked L1D
+                // image is mode-dependent and is left to the detailed
+                // warmup window instead (DESIGN.md §15).
+                Addr prevLine = ~Addr(0);
+                for (Addr a : tr.elemAddrs) {
+                    Addr ln = lineOf(a);
+                    if (ln != prevLine) {
+                        prevLine = ln;
+                        soc.mem.warmL2(a, tr.isStore);
+                    }
+                }
+            } else if (tr.isMem) {
+                soc.mem.warmData(coreId, tr.addr, tr.isStore);
+            }
+        }
+
+        if (tr.halted) {
+            res.halted = true;
+            break;
+        }
+    }
+    return res;
+}
+
+FfRunOutcome
+runFastForwarded(Soc &soc, Design design, Workload &workload,
+                 const RunOptions &opts)
+{
+    const SamplingOptions &sam = opts.sampling;
+    const CheckpointOptions &ckpt = opts.checkpoint;
+    FfRunOutcome out;
+
+    if (sam.enabled() && ckpt.enabled())
+        fatal("sampling and checkpointing cannot be combined in one "
+              "run");
+    if (opts.check.lockstep)
+        fatal("lockstep checking cannot be combined with fast-forward: "
+              "the checker must observe every fetch");
+    bool singleStream = workload.isDataParallel() &&
+                        design != Design::d1b4L &&
+                        design != Design::d1bIV4L;
+    if (!singleStream)
+        fatal("fast-forward requires a single program stream: a "
+              "data-parallel workload on a design other than "
+              "1b-4L/1bIV-4L (got %s on %s)",
+              workload.name().c_str(), designName(design));
+
+    bool useVector = designHasVector(design);
+    ProgramPtr prog = useVector ? workload.vectorProgram()
+                                : workload.scalarProgram();
+    if (!prog)
+        fatal("%s has no vector program", workload.name().c_str());
+
+    bool onLittle = design == Design::d1L;
+    ArchState &arch = onLittle ? soc.littles[0]->archState()
+                               : soc.big->archState();
+    unsigned coreId = onLittle ? 0u : soc.mem.bigCoreId();
+    GsharePredictor *bp = onLittle ? nullptr : &soc.big->predictor();
+
+    // Seed architectural state exactly as runProgram() would.
+    arch.reset();
+    for (const auto &[reg, value] : workload.fullRangeArgs()) {
+        if (isFReg(reg))
+            arch.setF(reg, value);
+        else
+            arch.setX(reg, value);
+    }
+    if (bp)
+        bp->reset();
+
+    Tick limit = static_cast<Tick>(opts.limitNs * ticksPerNs);
+    std::uint64_t lastWindowFetched = 0;
+    Tick lastWindowFetchTick = 0;
+    Tick lastWindowMarkTick = 0;
+    auto runWindowBlocking = [&](std::uint64_t maxFetch,
+                                 std::uint64_t markFetch = 0) -> bool {
+        bool done = false;
+        if (onLittle)
+            soc.littles[0]->runWindow(prog, maxFetch,
+                                      [&] { done = true; }, markFetch);
+        else
+            soc.big->runWindow(prog, maxFetch, [&] { done = true; },
+                               markFetch);
+        bool fin = soc.runUntil([&] { return done; }, limit);
+        lastWindowFetched = onLittle ? soc.littles[0]->windowFetched()
+                                     : soc.big->windowFetched();
+        lastWindowFetchTick =
+            onLittle ? soc.littles[0]->windowLastFetchTick()
+                     : soc.big->windowLastFetchTick();
+        lastWindowMarkTick =
+            onLittle ? soc.littles[0]->windowMarkTick()
+                     : soc.big->windowMarkTick();
+        if (!fin) {
+            out.finished = false;
+            out.queueDrained = soc.eq.empty();
+        }
+        return fin;
+    };
+
+    // --- checkpoint save / restore ----------------------------------
+
+    if (ckpt.enabled()) {
+        if (!ckpt.restorePath.empty()) {
+            std::string err;
+            CheckpointStatus st = loadCheckpoint(
+                ckpt.restorePath, soc, workload.name(), &err);
+            if (st == CheckpointStatus::mismatch)
+                fatal("checkpoint %s does not match this run: %s",
+                      ckpt.restorePath.c_str(), err.c_str());
+            if (st != CheckpointStatus::ok) {
+                // Never trust a bad checkpoint: quarantine it and
+                // re-simulate the fast-forward region from scratch,
+                // which reproduces the same state by construction.
+                if (st == CheckpointStatus::corrupt) {
+                    quarantineCheckpoint(ckpt.restorePath);
+                    warn("checkpoint %s is corrupt (%s); quarantined "
+                         "as %s.corrupt and re-simulating",
+                         ckpt.restorePath.c_str(), err.c_str(),
+                         ckpt.restorePath.c_str());
+                } else {
+                    warn("checkpoint %s is missing; re-simulating",
+                         ckpt.restorePath.c_str());
+                }
+                if (ckpt.ffInsts == 0)
+                    fatal("cannot re-simulate in place of checkpoint "
+                          "%s: checkpoint ffInsts is 0",
+                          ckpt.restorePath.c_str());
+                auto ff = fastForward(soc, arch, *prog, ckpt.ffInsts,
+                                      coreId, bp, true);
+                if (ff.halted)
+                    fatal("workload halted after %llu instructions "
+                          "during fast-forward; reduce ffInsts",
+                          static_cast<unsigned long long>(ff.executed));
+            }
+        } else {
+            auto ff = fastForward(soc, arch, *prog, ckpt.ffInsts,
+                                  coreId, bp, true);
+            if (ff.halted)
+                fatal("workload halted after %llu instructions during "
+                      "fast-forward; reduce ffInsts",
+                      static_cast<unsigned long long>(ff.executed));
+            std::string err;
+            if (!saveCheckpoint(ckpt.savePath, soc, workload.name(),
+                                ckpt.ffInsts, &err))
+                fatal("cannot write checkpoint %s: %s",
+                      ckpt.savePath.c_str(), err.c_str());
+            inform("checkpoint written to %s after %llu instructions",
+                   ckpt.savePath.c_str(),
+                   static_cast<unsigned long long>(ff.executed));
+        }
+        out.finished = runWindowBlocking(0);
+        return out;
+    }
+
+    // --- SMARTS-style sampling --------------------------------------
+
+    std::uint64_t totalInsts = 0;
+    std::uint64_t measuredInsts = 0;
+    Tick measuredTicks = 0;
+    unsigned periodsMeasured = 0;
+    bool halted = false;
+
+    for (unsigned per = 0; per < sam.periods && !halted; ++per) {
+        if (sam.ffInsts > 0) {
+            auto ff = fastForward(soc, arch, *prog, sam.ffInsts,
+                                  coreId, bp, true);
+            totalInsts += ff.executed;
+            if (ff.halted) {
+                halted = true;
+                break;
+            }
+        }
+        // Warmup and measurement share ONE detailed window, with the
+        // measurement marked at the warmup boundary. A window starts
+        // from a drained pipeline, so its first instructions pay
+        // fill, the mode switch, and fetch sprinting ahead of retire
+        // until the ROB is full; by the markFetch'th fetch the
+        // front end is retire-coupled, and the fetch-to-fetch span
+        // [mark, last] measures steady-state throughput. The
+        // end-of-window drain — simulated only to leave consistent
+        // state for the next functional region — is excluded the
+        // same way, unless the program really halted in-window (that
+        // drain is the program's actual tail and is kept).
+        Tick t0 = soc.eq.now();
+        if (!runWindowBlocking(sam.warmupInsts + sam.detailInsts,
+                               sam.warmupInsts))
+            return out;
+        totalInsts += lastWindowFetched;
+        halted = arch.halted;
+        Tick tMark = sam.warmupInsts == 0 ? t0 : lastWindowMarkTick;
+        if (lastWindowFetched > sam.warmupInsts &&
+            (sam.warmupInsts == 0 || tMark != 0)) {
+            measuredInsts += lastWindowFetched - sam.warmupInsts;
+            Tick tEnd = halted ? soc.eq.now() : lastWindowFetchTick;
+            measuredTicks += tEnd - tMark;
+            ++periodsMeasured;
+        }
+    }
+
+    if (!halted) {
+        // Final functional region: completes the workload so result
+        // verification still applies, but warms nothing (nothing runs
+        // after it). Capped like runFunctional() as a runaway guard.
+        auto ff = fastForward(soc, arch, *prog, 1ull << 32, coreId, bp,
+                              false);
+        totalInsts += ff.executed;
+        if (!ff.halted)
+            fatal("sampled run exceeded %llu instructions without "
+                  "halting",
+                  static_cast<unsigned long long>(1ull << 32));
+    }
+    out.finished = true;
+
+    if (measuredInsts > 0) {
+        out.estimatedNs = (double(measuredTicks) / ticksPerNs) *
+                          (double(totalInsts) / double(measuredInsts));
+    } else {
+        warn("sampled run measured no detailed window; reporting "
+             "detailed-simulated time only");
+    }
+    out.extraStats["sample.periodsMeasured"] = periodsMeasured;
+    out.extraStats["sample.totalInsts"] = totalInsts;
+    out.extraStats["sample.measuredInsts"] = measuredInsts;
+    out.extraStats["sample.measuredTicks"] = measuredTicks;
+    return out;
+}
+
+} // namespace bvl

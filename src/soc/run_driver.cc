@@ -3,6 +3,7 @@
 #include "sim/check/forensics.hh"
 #include "sim/logging.hh"
 #include "sim/watchdog.hh"
+#include "soc/fast_forward.hh"
 
 namespace bvl
 {
@@ -26,11 +27,10 @@ runStatusName(RunStatus s)
 RunStatus
 runStatusFromName(const std::string &name)
 {
-    for (RunStatus s :
-         {RunStatus::ok, RunStatus::time_limit, RunStatus::deadlock,
-          RunStatus::verify_failed, RunStatus::sim_error,
-          RunStatus::check_failed, RunStatus::deadline,
-          RunStatus::worker_lost}) {
+    // Iterate the enum by count rather than a hand-maintained list,
+    // so a new status only needs runStatusName + numRunStatuses.
+    for (unsigned i = 0; i < numRunStatuses; ++i) {
+        auto s = static_cast<RunStatus>(i);
         if (name == runStatusName(s))
             return s;
     }
@@ -53,6 +53,8 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
     std::unique_ptr<WsRuntime> runtime;
     bool done = false;
     bool finished = false;
+    std::optional<double> estimatedNs;
+    std::map<std::string, std::uint64_t> extraStats;
 
     try {
         SocParams sp;
@@ -69,6 +71,11 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
 
         workload.init(soc->backing);
 
+        // Sampled / checkpointed runs dispatch through the
+        // fast-forward engine instead of the switch below.
+        bool ffMode = opts.sampling.enabled() ||
+                      opts.checkpoint.enabled();
+
         // Lockstep is exact only when exactly one component fetches a
         // single program stream: the non-runtime data-parallel modes.
         // Task graphs (and 1b-4L/1bIV-4L) degrade to invariants only.
@@ -76,15 +83,21 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
                             design != Design::d1b4L &&
                             design != Design::d1bIV4L;
         // Arm before any program is dispatched: arming snapshots the
-        // initialized backing store for the reference model.
-        soc->armLockstep(singleStream);
+        // initialized backing store for the reference model. The
+        // fast-forward engine rejects lockstep itself (the checker
+        // must observe every fetch), so don't arm it here.
+        if (!ffMode)
+            soc->armLockstep(singleStream);
 
         auto onDone = [&] { done = true; };
 
         runtime = std::make_unique<WsRuntime>(*soc);
         runtime->registerProgress(soc->watchdog);
 
-        if (workload.isDataParallel()) {
+        if (ffMode) {
+            // Dispatch happens inside runFastForwarded(), below, after
+            // the watchdog is armed.
+        } else if (workload.isDataParallel()) {
             switch (design) {
               case Design::d1L:
                 soc->littles[0]->runProgram(workload.scalarProgram(),
@@ -145,8 +158,16 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
             soc->watchdog.arm();
         }
 
-        Tick limit = static_cast<Tick>(opts.limitNs * ticksPerNs);
-        finished = soc->runUntil([&] { return done; }, limit);
+        if (ffMode) {
+            FfRunOutcome ffo =
+                runFastForwarded(*soc, design, workload, opts);
+            finished = ffo.finished;
+            estimatedNs = ffo.estimatedNs;
+            extraStats = std::move(ffo.extraStats);
+        } else {
+            Tick limit = static_cast<Tick>(opts.limitNs * ticksPerNs);
+            finished = soc->runUntil([&] { return done; }, limit);
+        }
 
         if (finished) {
             r.status = RunStatus::ok;
@@ -202,11 +223,17 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
         }
         r.finished = finished;
         r.ns = soc->elapsedNs();
+        // A sampled run reports the extrapolated runtime, not the
+        // (much shorter) detailed-simulated time.
+        if (estimatedNs)
+            r.ns = *estimatedNs;
         r.ifetchReqs = soc->stats.value("sys.ifetchReqs");
         r.dataReqs = soc->stats.value("sys.dataReqs");
         r.bigFetched = soc->stats.value("big.fetched");
         for (const auto &kv : soc->stats.all())
             r.stats[kv.first] = kv.second.value();
+        for (const auto &kv : extraStats)
+            r.stats[kv.first] = kv.second;
     }
     r.log = capture.take();
     return r;

@@ -36,6 +36,48 @@
 namespace bvl
 {
 
+/**
+ * SMARTS-style sampled simulation: interleave functional fast-forward
+ * with detailed timing windows (DESIGN.md §15). Each of the
+ * @p periods samples fast-forwards @p ffInsts instructions purely
+ * functionally (warming caches, directory and branch predictor), runs
+ * @p warmupInsts in unmeasured detail to warm pipeline/MSHR/engine
+ * state, then measures @p detailInsts in full detail. Total runtime
+ * is extrapolated from the measured windows; the final architectural
+ * and memory state is exact (functional execution is the same oracle
+ * the timing model fetches through), so result verification still
+ * applies. Only single-stream runs (data-parallel workloads on
+ * designs other than 1b-4L/1bIV-4L) can be sampled.
+ */
+struct SamplingOptions
+{
+    std::uint64_t ffInsts = 0;      ///< functionally-skipped insts/period
+    std::uint64_t warmupInsts = 0;  ///< unmeasured detailed warmup insts
+    std::uint64_t detailInsts = 0;  ///< measured detailed insts/period
+    unsigned periods = 0;           ///< sample count; 0 disables
+
+    bool enabled() const { return periods > 0 && detailInsts > 0; }
+};
+
+/**
+ * Checkpoint save/restore (DESIGN.md §15). Saving fast-forwards
+ * @p ffInsts instructions functionally, snapshots architectural +
+ * warm microarchitectural state to @p savePath, then continues in
+ * detail; restoring resumes detailed timing from @p restorePath. A
+ * missing or corrupt checkpoint is quarantined (renamed *.corrupt)
+ * and re-simulated from scratch via @p ffInsts — never silently
+ * trusted — which yields byte-identical results by construction.
+ */
+struct CheckpointOptions
+{
+    std::string savePath;       ///< write a checkpoint here ("" = off)
+    std::string restorePath;    ///< resume from this file ("" = off)
+    std::uint64_t ffInsts = 0;  ///< insts to fast-forward before saving
+
+    bool enabled() const
+    { return !savePath.empty() || !restorePath.empty(); }
+};
+
 struct RunOptions
 {
     double bigGhz = 1.0;
@@ -72,6 +114,10 @@ struct RunOptions
      * and/or a stat time series (TraceOptions::samplePath).
      */
     TraceOptions trace{};
+    /** Sampled (fast-forward interleaved) simulation; off by default. */
+    SamplingOptions sampling{};
+    /** Checkpoint save/restore; off by default. */
+    CheckpointOptions checkpoint{};
 };
 
 /** How a run ended; anything but ok is a recoverable failure. */
@@ -86,6 +132,15 @@ enum class RunStatus
     deadline,       ///< RunOptions::wallDeadlineSec host-time budget hit
     worker_lost,    ///< isolated sweep worker died (signal/short read)
 };
+
+/**
+ * Number of RunStatus values. Keep in sync when adding a status: the
+ * exhaustive round-trip test iterates [0, numRunStatuses) and also
+ * asserts that the value *past* the end is unnamed, so forgetting to
+ * bump this (or to extend runStatusName) fails loudly.
+ */
+constexpr unsigned numRunStatuses =
+    static_cast<unsigned>(RunStatus::worker_lost) + 1;
 
 const char *runStatusName(RunStatus s);
 /** Inverse of runStatusName(); throws SimFatalError on unknown names. */

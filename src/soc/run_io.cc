@@ -76,6 +76,59 @@ traceOptionsFromJson(const Json &j)
     return t;
 }
 
+Json
+samplingOptionsToJson(const SamplingOptions &s)
+{
+    Json j = Json::object();
+    j.set("ffInsts", s.ffInsts);
+    j.set("warmupInsts", s.warmupInsts);
+    j.set("detailInsts", s.detailInsts);
+    j.set("periods", static_cast<std::uint64_t>(s.periods));
+    return j;
+}
+
+SamplingOptions
+samplingOptionsFromJson(const Json &j)
+{
+    SamplingOptions s;
+    if (j.isNull())
+        return s;
+    if (j.has("ffInsts"))
+        s.ffInsts = j["ffInsts"].asU64();
+    if (j.has("warmupInsts"))
+        s.warmupInsts = j["warmupInsts"].asU64();
+    if (j.has("detailInsts"))
+        s.detailInsts = j["detailInsts"].asU64();
+    if (j.has("periods"))
+        s.periods = static_cast<unsigned>(j["periods"].asU64());
+    return s;
+}
+
+Json
+checkpointOptionsToJson(const CheckpointOptions &c)
+{
+    Json j = Json::object();
+    j.set("savePath", c.savePath);
+    j.set("restorePath", c.restorePath);
+    j.set("ffInsts", c.ffInsts);
+    return j;
+}
+
+CheckpointOptions
+checkpointOptionsFromJson(const Json &j)
+{
+    CheckpointOptions c;
+    if (j.isNull())
+        return c;
+    if (j.has("savePath"))
+        c.savePath = j["savePath"].asString();
+    if (j.has("restorePath"))
+        c.restorePath = j["restorePath"].asString();
+    if (j.has("ffInsts"))
+        c.ffInsts = j["ffInsts"].asU64();
+    return c;
+}
+
 } // namespace
 
 Json
@@ -199,6 +252,8 @@ runOptionsToJson(const RunOptions &o)
     j.set("faults", faultSpecToJson(o.faults));
     j.set("check", checkOptionsToJson(o.check));
     j.set("trace", traceOptionsToJson(o.trace));
+    j.set("sampling", samplingOptionsToJson(o.sampling));
+    j.set("checkpoint", checkpointOptionsToJson(o.checkpoint));
     return j;
 }
 
@@ -228,6 +283,10 @@ runOptionsFromJson(const Json &j)
     o.check = checkOptionsFromJson(j["check"]);
     if (j.has("trace"))
         o.trace = traceOptionsFromJson(j["trace"]);
+    if (j.has("sampling"))
+        o.sampling = samplingOptionsFromJson(j["sampling"]);
+    if (j.has("checkpoint"))
+        o.checkpoint = checkpointOptionsFromJson(j["checkpoint"]);
     return o;
 }
 

@@ -17,6 +17,13 @@ jobHashHex(const SweepJob &job)
     canonical.trace.samplePath.clear();
     canonical.check.forensicsPath.clear();
     canonical.wallDeadlineSec = 0.0;
+    // Checkpoint paths are output/input locations, not semantics: a
+    // restored run is byte-identical to an uninterrupted one, so only
+    // the fast-forward depth (which changes what is simulated in
+    // detail) keys the hash. Sampling options all stay: they change
+    // the measured windows and therefore the result.
+    canonical.checkpoint.savePath.clear();
+    canonical.checkpoint.restorePath.clear();
 
     Sha256 d;
     auto feed = [&](const std::string &s) {
@@ -34,8 +41,14 @@ jobHashHex(const SweepJob &job)
 bool
 jobCacheable(const SweepJob &job)
 {
+    // Checkpoint jobs are excluded too: saving must actually write
+    // the file, and restoring must actually read it (exercising the
+    // corrupt-checkpoint fallback), neither of which a replayed
+    // result can reproduce.
     return job.opts.trace.path.empty() &&
-           job.opts.trace.samplePath.empty();
+           job.opts.trace.samplePath.empty() &&
+           job.opts.checkpoint.savePath.empty() &&
+           job.opts.checkpoint.restorePath.empty();
 }
 
 } // namespace bvl

@@ -31,7 +31,7 @@ namespace bvl
 {
 
 /** Bump on any change that alters simulation results. */
-constexpr const char *kLibraryRevision = "bvl-r6";
+constexpr const char *kLibraryRevision = "bvl-r7";
 
 /** 64-char hex SHA-256 identifying @p job (see file comment). */
 std::string jobHashHex(const SweepJob &job);

@@ -56,7 +56,12 @@ SweepJournal::open(const std::string &path)
                     ++_skipped;
                     continue;
                 }
-                replay[hash] = runResultFromJson(row["result"]);
+                Entry e;
+                e.result = runResultFromJson(row["result"]);
+                if (row.has("attempts"))
+                    e.attempts = static_cast<unsigned>(
+                        row["attempts"].asU64());
+                replay[hash] = std::move(e);
             } catch (const SimError &) {
                 ++_skipped;
             }
@@ -76,13 +81,16 @@ SweepJournal::open(const std::string &path)
 }
 
 bool
-SweepJournal::lookup(const std::string &hash, RunResult *out) const
+SweepJournal::lookup(const std::string &hash, RunResult *out,
+                     unsigned *attemptsOut) const
 {
     std::lock_guard<std::mutex> lock(m);
     auto it = replay.find(hash);
     if (it == replay.end())
         return false;
-    *out = it->second;
+    *out = it->second.result;
+    if (attemptsOut)
+        *attemptsOut = it->second.attempts;
     return true;
 }
 
@@ -121,7 +129,7 @@ SweepJournal::append(const std::string &hash, const SweepJob &job,
         off += static_cast<std::size_t>(n);
     }
     ::fsync(fd);
-    replay[hash] = result;
+    replay[hash] = Entry{result, attempts};
 }
 
 } // namespace bvl

@@ -56,8 +56,15 @@ class SweepJournal
     /** Corrupt/truncated lines skipped during open(). */
     std::size_t skippedLines() const { return _skipped; }
 
-    /** Fetch the journaled result for @p hash, if any. */
-    bool lookup(const std::string &hash, RunResult *out) const;
+    /**
+     * Fetch the journaled result for @p hash, if any. When
+     * @p attemptsOut is non-null it receives the attempt counter the
+     * entry was recorded with, so a resumed sweep can account a
+     * partially-retried job against its remaining retry budget
+     * instead of trusting the last intact record unconditionally.
+     */
+    bool lookup(const std::string &hash, RunResult *out,
+                unsigned *attemptsOut = nullptr) const;
 
     /**
      * Durably record one completed job. @p source is "sim" for a
@@ -69,11 +76,17 @@ class SweepJournal
                 const RunResult &result);
 
   private:
+    struct Entry
+    {
+        RunResult result;
+        unsigned attempts = 0;
+    };
+
     int fd = -1;
     std::string _path;
     std::size_t _skipped = 0;
     mutable std::mutex m;
-    std::unordered_map<std::string, RunResult> replay;
+    std::unordered_map<std::string, Entry> replay;
 };
 
 } // namespace bvl

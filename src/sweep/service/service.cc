@@ -10,6 +10,7 @@
 #include <cstring>
 #include <thread>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "soc/run_io.hh"
@@ -72,8 +73,7 @@ SweepService::SweepService(SweepServiceOptions options)
 {
     bvl_assert(opts.maxAttempts >= 1,
                "SweepServiceOptions::maxAttempts must be >= 1");
-    if (const char *env = std::getenv("BVL_SWEEP_ISOLATE"))
-        opts.isolate = std::strcmp(env, "0") != 0;
+    opts.isolate = envBool01("BVL_SWEEP_ISOLATE", opts.isolate);
     if (!opts.journalPath.empty())
         journal.open(opts.journalPath);
     if (!opts.cacheDir.empty())
@@ -325,14 +325,41 @@ SweepService::runJob(SweepJob job)
 
     const std::string hash = jobHashHex(job);
     const bool cacheable = jobCacheable(job);
+    unsigned priorAttempts = 0;
 
     if (cacheable) {
         RunResult stored;
-        if (journal.isOpen() && journal.lookup(hash, &stored)) {
-            nJournalHits.fetch_add(1, std::memory_order_relaxed);
-            return stored;
-        }
-        if (cache.enabled() && cache.lookup(hash, &stored)) {
+        unsigned storedAttempts = 0;
+        if (journal.isOpen() &&
+            journal.lookup(hash, &stored, &storedAttempts)) {
+            // A journaled entry is final when it succeeded, failed
+            // non-retryably, or already exhausted the retry budget.
+            // Otherwise the sweep was interrupted mid-retry: resume
+            // the loop below with the remaining budget instead of
+            // replaying a failure that still had attempts left.
+            bool exhausted = storedAttempts >= opts.maxAttempts;
+            if (stored.ok() || !retryable(stored.status) || exhausted) {
+                nJournalHits.fetch_add(1, std::memory_order_relaxed);
+                if (!stored.ok()) {
+                    nFailed.fetch_add(1, std::memory_order_relaxed);
+                    if (exhausted && retryable(stored.status)) {
+                        QuarantineRecord q;
+                        q.hash = hash;
+                        q.design = designName(job.design);
+                        q.workload = job.workload;
+                        q.status = stored.status;
+                        q.attempts = storedAttempts;
+                        q.forensicsPath =
+                            effectiveJob(job, hash)
+                                .opts.check.forensicsPath;
+                        std::lock_guard<std::mutex> lock(qm);
+                        quarantine.push_back(std::move(q));
+                    }
+                }
+                return stored;
+            }
+            priorAttempts = storedAttempts;
+        } else if (cache.enabled() && cache.lookup(hash, &stored)) {
             nCacheHits.fetch_add(1, std::memory_order_relaxed);
             // Journal the cache hit too: resume must not depend on
             // the cache still being intact.
@@ -344,7 +371,7 @@ SweepService::runJob(SweepJob job)
 
     SweepJob eff = effectiveJob(job, hash);
     RunResult r;
-    unsigned attempt = 0;
+    unsigned attempt = priorAttempts;
     for (;;) {
         nSimulated.fetch_add(1, std::memory_order_relaxed);
         r = runAttempt(eff, attempt);

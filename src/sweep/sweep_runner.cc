@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 
 namespace bvl
@@ -11,13 +12,11 @@ namespace bvl
 unsigned
 SweepRunner::defaultJobs()
 {
-    if (const char *env = std::getenv("BVL_JOBS")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end == env || *end != '\0' || v < 1)
-            fatal("BVL_JOBS must be a positive integer, got '%s'", env);
+    // Strict parse: a typo'd BVL_JOBS (or one that overflows long)
+    // must fail loudly rather than silently saturate or fall back.
+    long long v = envInt("BVL_JOBS", 0, 1, 1 << 16);
+    if (v)
         return static_cast<unsigned>(v);
-    }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

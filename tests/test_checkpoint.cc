@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Checkpoint and fast-forward engine tests (DESIGN.md §15): a restored
+ * run must be byte-identical to the run that saved the checkpoint; a
+ * corrupt or missing checkpoint is quarantined/re-simulated, never
+ * silently trusted; mismatched checkpoints are fatal; SMARTS-style
+ * sampled runs estimate runtime, still verify results, and are
+ * deterministic; and every invalid mode combination is rejected.
+ *
+ * Naming keys the ctest label partition: CheckpointDeterminismTest
+ * runs with the concurrency suites under ThreadSanitizer (it drives
+ * the sweep service at several BVL_JOBS settings), while
+ * CheckpointTest stays in the unit label.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "soc/checkpoint.hh"
+#include "soc/run_driver.hh"
+#include "soc/run_io.hh"
+#include "sweep/service/service.hh"
+
+namespace bvl
+{
+namespace
+{
+
+std::string
+scratchDir(const char *tag)
+{
+    std::string dir = ::testing::TempDir() + "bvl_ckpt_" + tag + "_" +
+                      std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+RunOptions
+saveOpts(const std::string &path, std::uint64_t ff)
+{
+    RunOptions o;
+    o.checkpoint.savePath = path;
+    o.checkpoint.ffInsts = ff;
+    return o;
+}
+
+RunOptions
+restoreOpts(const std::string &path, std::uint64_t ff)
+{
+    RunOptions o;
+    o.checkpoint.restorePath = path;
+    o.checkpoint.ffInsts = ff;
+    return o;
+}
+
+/**
+ * Serialized result minus the log: the save run informs about the
+ * written file and a fallback run warns, so the captured log is the
+ * one field that legitimately differs between the flows. Everything
+ * else — ns, status, verification, every stat — must match exactly.
+ */
+std::string
+dumpNoLog(RunResult r)
+{
+    r.log.clear();
+    return runResultToJson(r).dump(0);
+}
+
+// --- save / restore ----------------------------------------------------
+
+TEST(CheckpointTest, SaveThenRestoreIsByteIdentical)
+{
+    std::string dir = scratchDir("roundtrip");
+    std::string ck = dir + "/saxpy.bvl";
+
+    RunResult saved = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  saveOpts(ck, 150));
+    ASSERT_TRUE(saved.ok()) << saved.message;
+    EXPECT_TRUE(saved.verified);
+    ASSERT_TRUE(std::filesystem::exists(ck));
+    EXPECT_NE(saved.log.find("checkpoint written"), std::string::npos);
+
+    RunResult restored = runWorkload(Design::d1b4VL, "saxpy",
+                                     Scale::tiny, restoreOpts(ck, 150));
+    ASSERT_TRUE(restored.ok()) << restored.message;
+    EXPECT_TRUE(restored.verified);
+
+    // The whole point: resuming from the snapshot reproduces the save
+    // run exactly, stats and simulated time included.
+    EXPECT_EQ(dumpNoLog(restored), dumpNoLog(saved));
+    EXPECT_EQ(restored.ns, saved.ns);
+    EXPECT_EQ(restored.stats, saved.stats);
+
+    // And saving is itself deterministic: a second save run produces
+    // an identical result and an identical checkpoint file.
+    std::string ck2 = dir + "/saxpy2.bvl";
+    RunResult saved2 = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                   saveOpts(ck2, 150));
+    EXPECT_EQ(dumpNoLog(saved2), dumpNoLog(saved));
+    std::ifstream a(ck, std::ios::binary), b(ck2, std::ios::binary);
+    std::string bytesA((std::istreambuf_iterator<char>(a)),
+                       std::istreambuf_iterator<char>());
+    std::string bytesB((std::istreambuf_iterator<char>(b)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytesA, bytesB);
+}
+
+TEST(CheckpointTest, WorksOnEveryFastForwardableDesign)
+{
+    // One little core (scalar), big scalar, big + each vector engine:
+    // all four executing-core/predictor/cache layouts of the format.
+    std::string dir = scratchDir("designs");
+    for (Design d : {Design::d1L, Design::d1b, Design::d1bIV,
+                     Design::d1bDV, Design::d1b4VL}) {
+        std::string ck = dir + "/" + designName(d) + ".bvl";
+        RunResult saved = runWorkload(d, "vvadd", Scale::tiny,
+                                      saveOpts(ck, 100));
+        ASSERT_TRUE(saved.ok()) << designName(d) << ": "
+                                << saved.message;
+        RunResult restored = runWorkload(d, "vvadd", Scale::tiny,
+                                         restoreOpts(ck, 100));
+        ASSERT_TRUE(restored.ok()) << designName(d) << ": "
+                                   << restored.message;
+        EXPECT_EQ(dumpNoLog(restored), dumpNoLog(saved))
+            << designName(d);
+    }
+}
+
+// --- corrupt / missing / mismatched checkpoints ------------------------
+
+TEST(CheckpointTest, CorruptCheckpointIsQuarantinedAndResimulated)
+{
+    std::string dir = scratchDir("corrupt");
+    std::string ck = dir + "/ck.bvl";
+
+    RunResult saved = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  saveOpts(ck, 150));
+    ASSERT_TRUE(saved.ok()) << saved.message;
+
+    // Flip one payload byte; the digest in the header catches it.
+    {
+        std::fstream f(ck, std::ios::in | std::ios::out |
+                               std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<std::streamoff>(f.tellg());
+        ASSERT_GT(size, 200);
+        f.seekg(size - 100);
+        char c = 0;
+        f.get(c);
+        f.seekp(size - 100);
+        f.put(static_cast<char>(c ^ 0xff));
+    }
+
+    RunResult restored = runWorkload(Design::d1b4VL, "saxpy",
+                                     Scale::tiny, restoreOpts(ck, 150));
+    // Quarantined (renamed aside, never trusted) and re-simulated to
+    // the same answer.
+    ASSERT_TRUE(restored.ok()) << restored.message;
+    EXPECT_NE(restored.log.find("quarantined"), std::string::npos)
+        << restored.log;
+    EXPECT_FALSE(std::filesystem::exists(ck));
+    EXPECT_TRUE(std::filesystem::exists(ck + ".corrupt"));
+    EXPECT_EQ(dumpNoLog(restored), dumpNoLog(saved));
+}
+
+TEST(CheckpointTest, MissingCheckpointFallsBackToFastForward)
+{
+    std::string dir = scratchDir("missing");
+    std::string ck = dir + "/ck.bvl";
+
+    RunResult saved = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  saveOpts(ck, 150));
+    ASSERT_TRUE(saved.ok()) << saved.message;
+
+    RunResult restored = runWorkload(
+        Design::d1b4VL, "saxpy", Scale::tiny,
+        restoreOpts(dir + "/nope.bvl", 150));
+    ASSERT_TRUE(restored.ok()) << restored.message;
+    EXPECT_NE(restored.log.find("missing"), std::string::npos)
+        << restored.log;
+    EXPECT_EQ(dumpNoLog(restored), dumpNoLog(saved));
+
+    // ...but only when ffInsts says how far to re-simulate.
+    RunResult stuck = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  restoreOpts(dir + "/nope.bvl", 0));
+    EXPECT_EQ(stuck.status, RunStatus::sim_error);
+}
+
+TEST(CheckpointTest, MismatchedCheckpointIsFatal)
+{
+    std::string dir = scratchDir("mismatch");
+    std::string ck = dir + "/ck.bvl";
+    ASSERT_TRUE(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                            saveOpts(ck, 150)).ok());
+
+    // Wrong design: different cache geometry and executing core; a
+    // quiet fallback would mask a config error, so it must be fatal.
+    RunResult wrongDesign = runWorkload(Design::d1bDV, "saxpy",
+                                        Scale::tiny,
+                                        restoreOpts(ck, 150));
+    EXPECT_EQ(wrongDesign.status, RunStatus::sim_error);
+    EXPECT_NE(wrongDesign.message.find("does not match"),
+              std::string::npos) << wrongDesign.message;
+
+    RunResult wrongWorkload = runWorkload(Design::d1b4VL, "vvadd",
+                                          Scale::tiny,
+                                          restoreOpts(ck, 150));
+    EXPECT_EQ(wrongWorkload.status, RunStatus::sim_error);
+    EXPECT_NE(wrongWorkload.message.find("does not match"),
+              std::string::npos) << wrongWorkload.message;
+}
+
+TEST(CheckpointTest, FastForwardPastHaltIsFatal)
+{
+    // saxpy tiny executes ~359 dynamic instructions; asking to skip
+    // more must fail loudly (a checkpoint "after the end" would make
+    // the detailed window measure nothing).
+    std::string dir = scratchDir("pasthalt");
+    RunResult r = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                              saveOpts(dir + "/ck.bvl", 1000000));
+    EXPECT_EQ(r.status, RunStatus::sim_error);
+    EXPECT_NE(r.message.find("halted"), std::string::npos)
+        << r.message;
+    EXPECT_FALSE(std::filesystem::exists(dir + "/ck.bvl"));
+}
+
+// --- invalid mode combinations -----------------------------------------
+
+TEST(CheckpointTest, InvalidCombinationsAreRejected)
+{
+    RunOptions both;
+    both.checkpoint.savePath = "/tmp/never-written.bvl";
+    both.checkpoint.ffInsts = 10;
+    both.sampling = {10, 0, 10, 2};
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny, both)
+                  .status,
+              RunStatus::sim_error);
+
+    RunOptions lock;
+    lock.sampling = {10, 0, 10, 2};
+    lock.check.lockstep = true;
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny, lock)
+                  .status,
+              RunStatus::sim_error);
+
+    // Task-parallel workloads and runtime designs are multi-stream.
+    RunOptions sam;
+    sam.sampling = {10, 0, 10, 2};
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "bfs", Scale::tiny, sam)
+                  .status,
+              RunStatus::sim_error);
+    EXPECT_EQ(runWorkload(Design::d1b4L, "saxpy", Scale::tiny, sam)
+                  .status,
+              RunStatus::sim_error);
+}
+
+// --- SMARTS-style sampling ---------------------------------------------
+
+TEST(CheckpointTest, SampledRunEstimatesVerifiesAndIsDeterministic)
+{
+    RunOptions full;
+    RunResult ref = runWorkload(Design::d1b4VL, "saxpy", Scale::small,
+                                full);
+    ASSERT_TRUE(ref.ok()) << ref.message;
+
+    RunOptions sam;
+    sam.sampling = {2000, 200, 500, 4};
+    RunResult s = runWorkload(Design::d1b4VL, "saxpy", Scale::small,
+                              sam);
+    ASSERT_TRUE(s.ok()) << s.message;
+    // Functional completion is exact, so verification still applies.
+    EXPECT_TRUE(s.verified);
+    EXPECT_EQ(s.stat("sample.periodsMeasured"), 4u);
+    EXPECT_GT(s.stat("sample.measuredInsts"), 0u);
+    EXPECT_GE(s.stat("sample.totalInsts"),
+              s.stat("sample.measuredInsts"));
+
+    // The extrapolated runtime is in the right ballpark. The tight
+    // (<3% mean) bound is enforced at bench scale by
+    // scripts/check_bench.py; per-workload tiny-sample noise gets a
+    // looser gate here.
+    ASSERT_GT(s.ns, 0.0);
+    double err = std::abs(s.ns - ref.ns) / ref.ns;
+    EXPECT_LT(err, 0.30) << "sampled " << s.ns << " ns vs full "
+                         << ref.ns << " ns";
+
+    // Sampling is deterministic: an identical rerun is byte-identical.
+    RunResult s2 = runWorkload(Design::d1b4VL, "saxpy", Scale::small,
+                               sam);
+    EXPECT_EQ(dumpNoLog(s2), dumpNoLog(s));
+}
+
+// --- determinism through the sweep service (TSan via the concurrency
+// --- label) ------------------------------------------------------------
+
+TEST(CheckpointDeterminismTest, SweepSaveRestoreIsStableAcrossJobs)
+{
+    // The acceptance criterion: save at N, restore, run to completion
+    // — stats byte-identical to the uninterrupted (save-flow) run,
+    // through the sweep service, at one worker and at four.
+    std::string dir = scratchDir("sweepdet");
+    const char *names[] = {"vvadd", "saxpy"};
+
+    auto sweep = [&](unsigned jobs) {
+        SweepServiceOptions o;
+        o.jobs = jobs;
+        SweepService svc(o);
+
+        std::vector<std::future<RunResult>> saves;
+        for (const char *n : names) {
+            SweepJob job{Design::d1b4VL, n, Scale::tiny, {}};
+            job.opts.checkpoint.savePath =
+                dir + "/" + n + "_j" + std::to_string(jobs) + ".bvl";
+            job.opts.checkpoint.ffInsts = 100;
+            saves.push_back(svc.submit(job));
+        }
+        std::vector<std::string> rows;
+        for (auto &f : saves) {
+            RunResult r = f.get();
+            EXPECT_TRUE(r.ok()) << r.message;
+            rows.push_back(dumpNoLog(r));
+        }
+
+        std::vector<std::future<RunResult>> restores;
+        for (const char *n : names) {
+            SweepJob job{Design::d1b4VL, n, Scale::tiny, {}};
+            job.opts.checkpoint.restorePath =
+                dir + "/" + n + "_j" + std::to_string(jobs) + ".bvl";
+            job.opts.checkpoint.ffInsts = 100;
+            restores.push_back(svc.submit(job));
+        }
+        for (unsigned i = 0; i < restores.size(); ++i) {
+            RunResult r = restores[i].get();
+            EXPECT_TRUE(r.ok()) << r.message;
+            EXPECT_EQ(dumpNoLog(r), rows[i])
+                << names[i] << " at jobs=" << jobs;
+        }
+        return rows;
+    };
+
+    auto serial = sweep(1);
+    auto parallel = sweep(4);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(CheckpointDeterminismTest, SampledSweepIsStableAcrossJobs)
+{
+    auto sweep = [&](unsigned jobs) {
+        SweepServiceOptions o;
+        o.jobs = jobs;
+        SweepService svc(o);
+        std::vector<std::future<RunResult>> futs;
+        for (const char *n : {"vvadd", "saxpy", "mmult"}) {
+            SweepJob job{Design::d1b4VL, n, Scale::tiny, {}};
+            job.opts.sampling = {100, 20, 50, 3};
+            futs.push_back(svc.submit(job));
+        }
+        std::vector<std::string> rows;
+        for (auto &f : futs) {
+            RunResult r = f.get();
+            EXPECT_TRUE(r.ok()) << r.message;
+            EXPECT_TRUE(r.verified);
+            rows.push_back(dumpNoLog(r));
+        }
+        return rows;
+    };
+    EXPECT_EQ(sweep(1), sweep(4));
+}
+
+} // namespace
+} // namespace bvl

@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <vector>
 
 #include "sim/check/forensics.hh"
 #include "soc/run_io.hh"
@@ -115,6 +117,39 @@ TEST(SweepServiceTest, JobHashIgnoresOutputPathsAndWallDeadline)
     EXPECT_FALSE(jobCacheable(traced));
 }
 
+TEST(SweepServiceTest, JobHashTracksSamplingAndCheckpointDepthNotPaths)
+{
+    SweepJob job = vvaddJob();
+    std::string h = jobHashHex(job);
+
+    // Sampling changes which windows are measured, hence the result.
+    SweepJob sampled = job;
+    sampled.opts.sampling.ffInsts = 1000;
+    sampled.opts.sampling.warmupInsts = 100;
+    sampled.opts.sampling.detailInsts = 500;
+    sampled.opts.sampling.periods = 4;
+    EXPECT_NE(jobHashHex(sampled), h);
+    EXPECT_TRUE(jobCacheable(sampled));
+
+    // The fast-forward depth changes where detailed timing starts.
+    SweepJob deep = job;
+    deep.opts.checkpoint.ffInsts = 500;
+    EXPECT_NE(jobHashHex(deep), h);
+
+    // Checkpoint file locations are plumbing, not semantics: a
+    // restored run is byte-identical to its save run, so the paths
+    // must not change the hash — but they do make the job uncacheable
+    // (saving must actually write; restoring must actually read).
+    SweepJob saver = deep;
+    saver.opts.checkpoint.savePath = "/tmp/ck.bvl";
+    EXPECT_EQ(jobHashHex(saver), jobHashHex(deep));
+    EXPECT_FALSE(jobCacheable(saver));
+    SweepJob restorer = deep;
+    restorer.opts.checkpoint.restorePath = "/tmp/ck.bvl";
+    EXPECT_EQ(jobHashHex(restorer), jobHashHex(deep));
+    EXPECT_FALSE(jobCacheable(restorer));
+}
+
 // --- exact serialization round-trip ------------------------------------
 
 TEST(SweepServiceTest, RunOptionsRoundTripIsExact)
@@ -134,6 +169,80 @@ TEST(SweepServiceTest, RunOptionsRoundTripIsExact)
     ASSERT_TRUE(back.engineOverride.has_value());
     EXPECT_EQ(back.engineOverride->chimes, 3u);
     EXPECT_EQ(back.bigGhz, opts.bigGhz);
+}
+
+TEST(SweepServiceTest, RunStatusNamesAreExhaustiveAndRoundTrip)
+{
+    // Iterates the enum by count: adding a RunStatus without updating
+    // numRunStatuses + runStatusName (and thus run_io) fails here, not
+    // in a sweep journal three PRs later.
+    std::set<std::string> seen;
+    for (unsigned i = 0; i < numRunStatuses; ++i) {
+        auto s = static_cast<RunStatus>(i);
+        std::string name = runStatusName(s);
+        EXPECT_NE(name, "?") << "RunStatus " << i << " is unnamed; "
+                             << "extend runStatusName()";
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate status name '" << name << "'";
+        EXPECT_EQ(runStatusFromName(name), s);
+    }
+    // ...and the value past the end must be unnamed, so forgetting to
+    // bump numRunStatuses after extending the enum also fails.
+    EXPECT_STREQ(runStatusName(static_cast<RunStatus>(numRunStatuses)),
+                 "?");
+    EXPECT_THROW(runStatusFromName("no-such-status"), SimFatalError);
+}
+
+TEST(SweepServiceTest, RunOptionsEveryFieldRoundTripsExactly)
+{
+    // Every RunOptions field set to a non-default value, including the
+    // PR-7 sampling and checkpoint blocks: the serialized form must
+    // reproduce the struct exactly, or journal replay and job hashing
+    // silently diverge.
+    RunOptions opts;
+    opts.bigGhz = 2.25;
+    opts.littleGhz = 0.8125;
+    opts.engineOverride = VEngineParams{};
+    opts.engineOverride->chimes = 2;
+    opts.limitNs = 777.5;
+    opts.verifyResult = false;
+    opts.watchdog = false;
+    opts.watchdogIntervalNs = 5000.0;
+    opts.wallDeadlineSec = 9.25;
+    opts.check.lockstep = true;
+    opts.trace.path = "/tmp/trace.json";
+    opts.trace.samplePath = "/tmp/sample.csv";
+    opts.sampling.ffInsts = 20000;
+    opts.sampling.warmupInsts = 1000;
+    opts.sampling.detailInsts = 4000;
+    opts.sampling.periods = 8;
+    opts.checkpoint.savePath = "/tmp/ck.bvl";
+    opts.checkpoint.restorePath = "/tmp/ck2.bvl";
+    opts.checkpoint.ffInsts = 12345;
+
+    Json j = runOptionsToJson(opts);
+    RunOptions back = runOptionsFromJson(Json::parse(j.dump(0)));
+    EXPECT_EQ(runOptionsToJson(back).dump(0), j.dump(0));
+    EXPECT_EQ(back.sampling.ffInsts, 20000u);
+    EXPECT_EQ(back.sampling.warmupInsts, 1000u);
+    EXPECT_EQ(back.sampling.detailInsts, 4000u);
+    EXPECT_EQ(back.sampling.periods, 8u);
+    EXPECT_TRUE(back.sampling.enabled());
+    EXPECT_EQ(back.checkpoint.savePath, "/tmp/ck.bvl");
+    EXPECT_EQ(back.checkpoint.restorePath, "/tmp/ck2.bvl");
+    EXPECT_EQ(back.checkpoint.ffInsts, 12345u);
+    EXPECT_FALSE(back.verifyResult);
+    EXPECT_FALSE(back.watchdog);
+    EXPECT_EQ(back.wallDeadlineSec, 9.25);
+
+    // Defaults round-trip too (the has()-guarded parse paths).
+    RunOptions plain;
+    RunOptions plainBack = runOptionsFromJson(
+        Json::parse(runOptionsToJson(plain).dump(0)));
+    EXPECT_EQ(runOptionsToJson(plainBack).dump(0),
+              runOptionsToJson(plain).dump(0));
+    EXPECT_FALSE(plainBack.sampling.enabled());
+    EXPECT_FALSE(plainBack.checkpoint.enabled());
 }
 
 TEST(SweepServiceTest, RunResultRoundTripIsExact)
@@ -362,6 +471,89 @@ TEST(SweepServiceTest, NonRetryableFailureFailsFastWithoutQuarantine)
     EXPECT_EQ(s.retries, 0u);
     EXPECT_EQ(s.quarantines, 0u);
     EXPECT_EQ(s.failed, 1u);
+}
+
+TEST(SweepServiceTest, ResumedJobHonorsRetryBudget)
+{
+    // Regression (PR 7): journal replay must honor the recorded
+    // attempt counter. A sweep interrupted mid-retry used to replay
+    // the failure as final (or, before attempts were journaled at
+    // all, restart the count from zero on resume, exceeding the
+    // budget). The invariant: across any number of interruptions and
+    // resumes, a retryable job runs exactly maxAttempts simulations,
+    // then stays quarantined forever.
+    SweepService::clearStop();
+    std::string dir = scratchDir("budget");
+    SweepJob bad{Design::d1b, "no-such-workload", Scale::tiny, {}};
+
+    auto makeOpts = [&] {
+        SweepServiceOptions o;
+        o.jobs = 1;
+        o.journalPath = dir + "/sweep.journal.jsonl";
+        o.maxAttempts = 3;
+        o.backoffBaseMs = 0.01;
+        o.retryOn = {RunStatus::sim_error};
+        return o;
+    };
+
+    // Sweep 1: the stop request lands during attempt 0, so the retry
+    // loop exits after one simulation and journals attempts=1.
+    {
+        auto o = makeOpts();
+        o.preRunHook = [](const SweepJob &, unsigned) {
+            SweepService::requestStop();
+        };
+        SweepService svc(o);
+        auto r = svc.submit(bad).get();
+        EXPECT_EQ(r.status, RunStatus::sim_error);
+        auto s = svc.summary();
+        EXPECT_EQ(s.simulated, 1u);
+        EXPECT_EQ(s.retries, 0u);
+        EXPECT_EQ(s.quarantines, 0u);    // budget not exhausted yet
+        EXPECT_TRUE(s.interrupted);
+        SweepService::clearStop();
+    }
+
+    // Sweep 2 (resume): picks up at attempt 1 — never re-runs attempt
+    // 0, and stops at the original budget of 3 total attempts.
+    {
+        auto o = makeOpts();
+        std::vector<unsigned> attemptsSeen;
+        o.preRunHook = [&](const SweepJob &, unsigned attempt) {
+            attemptsSeen.push_back(attempt);
+        };
+        SweepService svc(o);
+        auto r = svc.submit(bad).get();
+        EXPECT_EQ(r.status, RunStatus::sim_error);
+        ASSERT_EQ(attemptsSeen.size(), 2u);
+        EXPECT_EQ(attemptsSeen[0], 1u);
+        EXPECT_EQ(attemptsSeen[1], 2u);
+        auto s = svc.summary();
+        EXPECT_EQ(s.simulated, 2u);
+        EXPECT_EQ(s.journalHits, 0u);    // a live resume, not a replay
+        EXPECT_EQ(s.quarantines, 1u);
+        auto q = svc.quarantined();
+        ASSERT_EQ(q.size(), 1u);
+        EXPECT_EQ(q[0].attempts, 3u);
+        EXPECT_EQ(q[0].workload, "no-such-workload");
+    }
+
+    // Sweep 3: the budget is spent, so the journaled failure replays
+    // with zero simulations — and the quarantine row is reconstructed
+    // so the sweep report still shows the job as exhausted.
+    {
+        SweepService svc(makeOpts());
+        auto r = svc.submit(bad).get();
+        EXPECT_EQ(r.status, RunStatus::sim_error);
+        auto s = svc.summary();
+        EXPECT_EQ(s.simulated, 0u);
+        EXPECT_EQ(s.journalHits, 1u);
+        EXPECT_EQ(s.failed, 1u);
+        auto q = svc.quarantined();
+        ASSERT_EQ(q.size(), 1u);
+        EXPECT_EQ(q[0].attempts, 3u);
+    }
+    SweepService::clearStop();
 }
 
 TEST(SweepServiceTest, WallDeadlineYieldsDeadlineStatus)
