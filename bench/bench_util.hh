@@ -90,6 +90,25 @@ applyTraceEnv(RunOptions &opts, Design d, const std::string &name)
 }
 
 /**
+ * BVL_CKPT_FARM=1: route every fast-forwarded run the bench launches
+ * through the shared checkpoint-prefix farm (DESIGN.md §16) instead
+ * of a per-cell cold fast-forward. Only applied to runs that already
+ * fast-forward (ffInsts > 0) and do not name explicit checkpoint
+ * paths; BVL_CKPT_DIR picks the farm directory.
+ */
+inline void
+applyCkptEnv(RunOptions &opts)
+{
+    if (!envBool01("BVL_CKPT_FARM", false))
+        return;
+    if (opts.checkpoint.ffInsts == 0 ||
+        !opts.checkpoint.savePath.empty() ||
+        !opts.checkpoint.restorePath.empty())
+        return;
+    opts.checkpoint.farm = true;
+}
+
+/**
  * Sweep-service configuration shared by every figure bench:
  *
  *  - journal: ${BVL_SWEEP_DIR:-.bvl-sweep}/<bench>.journal.jsonl.
@@ -165,6 +184,7 @@ runChecked(Design d, const std::string &name, Scale scale,
            RunOptions opts = {})
 {
     applyTraceEnv(opts, d, name);
+    applyCkptEnv(opts);
     return checkResult(runWorkload(d, name, scale, opts));
 }
 
@@ -183,6 +203,7 @@ class SweepResults
          RunOptions opts = {})
     {
         applyTraceEnv(opts, d, name);
+        applyCkptEnv(opts);
         futures.push_back(pool.submit({d, name, scale, opts}));
     }
 

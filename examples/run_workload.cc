@@ -8,10 +8,12 @@
  *         --scale small --big-ghz 1.0 --little-ghz 1.2 --stats
  *   $ ./example_run_workload --list
  *
- * Checkpointing and sampled simulation (DESIGN.md §15):
+ * Checkpointing and sampled simulation (DESIGN.md §15/§16):
  *
  *   $ ./example_run_workload --checkpoint ckpt.bvl --ff 20000
  *   $ ./example_run_workload --restore ckpt.bvl --ff 20000
+ *   $ ./example_run_workload --restore ckpt.bvl --restore-strict
+ *   $ ./example_run_workload --ckpt-farm --ff 20000
  *   $ ./example_run_workload --sample 20000:1000:4000:8
  */
 
@@ -53,7 +55,8 @@ usage(const char *argv0)
                  "          [--stat-sample FILE] "
                  "[--sample-interval NS]\n"
                  "          [--checkpoint FILE] [--restore FILE] "
-                 "[--ff N]\n"
+                 "[--restore-strict] [--ff N]\n"
+                 "          [--ckpt-farm] [--ckpt-dir DIR]\n"
                  "          [--sample FF:WARM:DETAIL:PERIODS]\n"
                  "designs: 1L 1b 1bIV 1b-4L 1bIV-4L 1bDV 1b-4VL\n"
                  "trace cats: big,core,vcu,lane,vxu,vmu,cache,dram "
@@ -125,6 +128,12 @@ main(int argc, char **argv)
             opts.checkpoint.savePath = next();
         } else if (arg == "--restore") {
             opts.checkpoint.restorePath = next();
+        } else if (arg == "--restore-strict") {
+            opts.checkpoint.strict = true;
+        } else if (arg == "--ckpt-farm") {
+            opts.checkpoint.farm = true;
+        } else if (arg == "--ckpt-dir") {
+            opts.checkpoint.farmDir = next();
         } else if (arg == "--ff") {
             opts.checkpoint.ffInsts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--sample") {
@@ -143,6 +152,39 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 1;
         }
+    }
+
+    // Reject contradictory flag combinations up front, each with one
+    // actionable line, instead of letting the engine fatal() later.
+    const auto &ck = opts.checkpoint;
+    if (!ck.savePath.empty() && !ck.restorePath.empty()) {
+        std::fprintf(stderr, "--checkpoint and --restore are mutually "
+                             "exclusive: save in one run, restore in "
+                             "the next\n");
+        return 1;
+    }
+    if (ck.farm && (!ck.savePath.empty() || !ck.restorePath.empty())) {
+        std::fprintf(stderr, "--ckpt-farm manages its own entry paths; "
+                             "drop --checkpoint/--restore\n");
+        return 1;
+    }
+    if (ck.farm && ck.ffInsts == 0) {
+        std::fprintf(stderr, "--ckpt-farm needs --ff N: the prefix "
+                             "length is part of the farm entry's "
+                             "identity\n");
+        return 1;
+    }
+    if (ck.strict && ck.restorePath.empty()) {
+        std::fprintf(stderr, "--restore-strict only constrains "
+                             "--restore; add --restore FILE or drop "
+                             "it\n");
+        return 1;
+    }
+    if (ck.strict && ck.ffInsts > 0) {
+        std::fprintf(stderr, "--restore-strict never re-simulates; "
+                             "drop --ff N (or drop --restore-strict "
+                             "to allow the fast-forward fallback)\n");
+        return 1;
     }
 
     auto w = makeWorkload(workload, scale);

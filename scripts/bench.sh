@@ -34,7 +34,7 @@ cmake --build build-bench -j "$jobs" \
 echo "=== kernel microbenchmarks ==="
 micro_json=build-bench/microbench.json
 ./build-bench/bench/microbench_sim \
-    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath|BM_LittleCoreSimSpeed|BM_BigCoreSimSpeed' \
+    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath|BM_FastForwardStep|BM_LittleCoreSimSpeed|BM_BigCoreSimSpeed' \
     --benchmark_min_time=0.5 \
     --benchmark_out="$micro_json" --benchmark_out_format=json
 

@@ -23,10 +23,19 @@ Unlike nanoseconds, cycle error is machine-independent, so the bound
 is tight and not widened on CI. Wall-clock speedup is reported but
 never gated — it depends on the host.
 
+A third gate reads a sweep-service write-ahead journal (the
+bvl-sweep-journal-v1 JSONL every figure bench appends to, DESIGN.md
+§14) as its results store: --journal fails if any journaled run ended
+in a non-ok status, and reports the row count, the designs covered and
+the total simulation wall-clock the journal recorded. CI points it at
+the journal a bench sweep just wrote, so "the sweep printed numbers"
+and "every cell actually finished ok" stop being the same check.
+
 Usage:
     scripts/check_bench.py --results build-bench/microbench.json
     scripts/check_bench.py --results r.json --tolerance 0.5
     scripts/check_bench.py --sampled build/sampled.json
+    scripts/check_bench.py --journal build/.bvl-sweep/fig04.journal.jsonl
     scripts/check_bench.py --self-test
 """
 
@@ -35,7 +44,8 @@ import json
 import os
 import sys
 
-GATED = ["BM_CacheHitPath", "BM_TickChurn", "BM_StatIncrement"]
+GATED = ["BM_CacheHitPath", "BM_TickChurn", "BM_StatIncrement",
+         "BM_FastForwardStep"]
 
 
 class GateInputError(Exception):
@@ -172,6 +182,80 @@ def check_sampled(doc, max_mean_error):
     return failures, lines
 
 
+JOURNAL_SCHEMA = "bvl-sweep-journal-v1"
+
+
+def load_journal(path):
+    """Valid bvl-sweep-journal-v1 rows from a sweep journal.
+
+    A line is the journal's unit of durability, so the torn tail of a
+    killed writer is skipped exactly as the service itself does on
+    replay — but a file with NO valid rows (missing, empty, or all
+    garbage) is a hard input error: the sweep this gate was meant to
+    check never recorded anything.
+    """
+    hint = ("rerun the bench sweep with journaling on "
+            "(unset BVL_SWEEP_JOURNAL or point it at a path)")
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except FileNotFoundError:
+        raise GateInputError("journal file %s does not exist; %s"
+                             % (path, hint))
+    except OSError as e:
+        raise GateInputError("journal file %s is unreadable (%s); %s"
+                             % (path, e.strerror, hint))
+    rows, skipped = [], 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if (not isinstance(row, dict)
+                or row.get("schema") != JOURNAL_SCHEMA
+                or not isinstance(row.get("result"), dict)):
+            skipped += 1
+            continue
+        rows.append(row)
+    if not rows:
+        raise GateInputError("journal file %s has no valid %s rows "
+                             "(%d unusable line(s)) — truncated or not "
+                             "a journal? %s"
+                             % (path, JOURNAL_SCHEMA, skipped, hint))
+    return rows, skipped
+
+
+def check_journal(rows):
+    """Return (failures, report_lines) for journaled sweep rows.
+
+    Every journaled run must have finished with status "ok": a
+    deadline, sim_error or lost-worker row means the sweep's printed
+    figures silently lack a cell.
+    """
+    failures = []
+    lines = []
+    designs = set()
+    total_wall_ms = 0.0
+    for row in rows:
+        design = row.get("design", "?")
+        workload = row.get("workload", "?")
+        designs.add(design)
+        wall = row.get("wallMs", 0.0)
+        if isinstance(wall, (int, float)):
+            total_wall_ms += wall
+        status = row["result"].get("status", "missing-status")
+        if status != "ok":
+            failures.append("%s/%s" % (design, workload))
+            lines.append("%-10s %-14s %s" % (design, workload, status))
+    lines.append("%d row(s), %d design(s), %.1f s simulation "
+                 "wall-clock journaled"
+                 % (len(rows), len(designs), total_wall_ms / 1000.0))
+    return failures, lines
+
+
 def compare(baseline, results, tolerance, benches):
     """Return (failures, report_lines); failures is a list of names."""
     failures = []
@@ -201,7 +285,7 @@ def compare(baseline, results, tolerance, benches):
 def self_test():
     """Machine-independent check that the gate actually gates."""
     baseline = {"BM_CacheHitPath": 25.0, "BM_TickChurn": 17000.0,
-                "BM_StatIncrement": 0.4}
+                "BM_StatIncrement": 0.4, "BM_FastForwardStep": 21000.0}
 
     ok = dict(baseline)
     failures, _ = compare(baseline, ok, 0.25, GATED)
@@ -308,6 +392,55 @@ def self_test():
             else:
                 assert False, "bad sampled doc must be rejected"
 
+    # Journal gate: all-ok passes, a bad row fails, input diagnoses.
+    def journal_line(design, workload, status, wall_ms=100.0):
+        return json.dumps({"schema": JOURNAL_SCHEMA, "hash": "h",
+                           "design": design, "workload": workload,
+                           "scale": "tiny", "attempts": 1,
+                           "source": "sim", "wallMs": wall_ms,
+                           "result": {"status": status}})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        good_j = os.path.join(tmp, "good.jsonl")
+        with open(good_j, "w") as f:
+            f.write(journal_line("1b-4VL", "saxpy", "ok") + "\n")
+            f.write(journal_line("1bDV", "saxpy", "ok") + "\n")
+            f.write('{"torn tail')  # killed writer, must be tolerated
+        rows, skipped = load_journal(good_j)
+        assert len(rows) == 2 and skipped == 1, \
+            "torn tail must be skipped, not fatal"
+        failures, lines = check_journal(rows)
+        assert not failures, "all-ok journal must pass: %s" % failures
+        assert any("2 row(s), 2 design(s)" in l for l in lines), lines
+
+        bad_j = os.path.join(tmp, "bad.jsonl")
+        with open(bad_j, "w") as f:
+            f.write(journal_line("1b-4VL", "saxpy", "ok") + "\n")
+            f.write(journal_line("1bDV", "kmeans", "sim_error") + "\n")
+        failures, _ = check_journal(load_journal(bad_j)[0])
+        assert failures == ["1bDV/kmeans"], \
+            "a sim_error row must fail exactly that cell: %s" % failures
+
+        cases = [
+            (os.path.join(tmp, "absent.jsonl"), None, "does not exist"),
+            (os.path.join(tmp, "empty.jsonl"), "", "no valid"),
+            (os.path.join(tmp, "garbage.jsonl"), "not json\n{}\n",
+             "no valid"),
+            (os.path.join(tmp, "wrong.jsonl"),
+             '{"schema": "bvl-other-v9", "result": {}}\n', "no valid"),
+        ]
+        for path, content, expect in cases:
+            if content is not None:
+                with open(path, "w") as f:
+                    f.write(content)
+            try:
+                load_journal(path)
+            except GateInputError as e:
+                assert expect in str(e), \
+                    "wrong journal diagnosis for %s: %s" % (path, e)
+            else:
+                assert False, "%s must be rejected" % path
+
     print("check_bench.py self-test: all cases behaved")
     return 0
 
@@ -330,6 +463,9 @@ def main():
     ap.add_argument("--sampled",
                     help="bvl-sampled-validation-v1 JSON from "
                          "fig04_sampled to gate instead")
+    ap.add_argument("--journal",
+                    help="bvl-sweep-journal-v1 JSONL from a bench "
+                         "sweep: fail if any journaled run is not ok")
     ap.add_argument("--max-mean-error", type=float,
                     default=float(os.environ.get("BVL_SAMPLED_MAX_ERROR",
                                                  "0.03")),
@@ -363,8 +499,28 @@ def main():
         print("sampled gate passed")
         return 0
 
+    if args.journal:
+        try:
+            rows, skipped = load_journal(args.journal)
+        except GateInputError as e:
+            print("journal gate: ERROR: %s" % e, file=sys.stderr)
+            return 1
+        failures, lines = check_journal(rows)
+        print("journal gate: %s" % args.journal)
+        if skipped:
+            print("  (skipped %d torn/foreign line(s))" % skipped)
+        for line in lines:
+            print("  " + line)
+        if failures:
+            print("FAIL: non-ok journaled run(s): %s"
+                  % ", ".join(failures))
+            return 1
+        print("journal gate passed")
+        return 0
+
     if not args.results:
-        ap.error("--results or --sampled is required (or --self-test)")
+        ap.error("--results, --sampled or --journal is required "
+                 "(or --self-test)")
 
     benches = [b for b in args.benches.split(",") if b]
     try:

@@ -14,6 +14,19 @@
 #                                       a sweep-service sweep; neither
 #                                       perturbs the other
 #
+# and, against the bench/sweep_farm grid, the checkpoint-prefix farm
+# (DESIGN.md §16):
+#
+#   7. cold populate                 -> one production per unique prefix,
+#                                       stdout identical to the no-farm run
+#   8. warm rerun                    -> zero productions, all hits,
+#                                       stdout still identical
+#   9. corrupt farm entry            -> quarantined as *.corrupt,
+#                                       re-produced, stdout unchanged
+#  10. isolate-mode race             -> forked workers contend for the
+#                                       same entries via flock; stdout
+#                                       unchanged
+#
 # Usage: scripts/checkpoint_smoke.sh [build-dir] [scratch-dir]
 set -euo pipefail
 
@@ -83,4 +96,63 @@ BVL_SCALE=tiny BVL_JOBS=4 BVL_SWEEP_DIR="$scratch/sweep.solo" \
     "$sweep" > "$scratch/sweep.solo.out" 2> /dev/null
 cmp "$scratch/sweep.bg.out" "$scratch/sweep.solo.out"
 
-echo "checkpoint_smoke.sh: all checkpoint/sampling checks passed"
+sfarm="$build/bench/sweep_farm"
+[ -x "$sfarm" ] || { echo "FAIL: $sfarm not built" >&2; exit 1; }
+farm="$scratch/farm"
+# The journal would short-circuit reruns before the farm is even
+# consulted; this leg measures the farm, so journaling stays off.
+fenv=(env BVL_SCALE=tiny BVL_SWEEP_JOURNAL=0 BVL_CKPT_FARM=1
+      BVL_CKPT_DIR="$farm")
+
+echo "--- farm cold populate: one production per unique prefix"
+BVL_SCALE=tiny BVL_SWEEP_JOURNAL=0 "$sfarm" \
+    > "$scratch/farm_none.out" 2> /dev/null
+"${fenv[@]}" "$sfarm" > "$scratch/farm_cold.out" 2> "$scratch/farm_cold.err"
+cmp "$scratch/farm_none.out" "$scratch/farm_cold.out"
+grep -q 'farm_produced=3' "$scratch/farm_cold.err" \
+    || { echo "FAIL: cold farm run did not produce 3 prefixes" >&2
+         cat "$scratch/farm_cold.err" >&2; exit 1; }
+entries=$(find "$farm" -name '*.bvl' | wc -l)
+[ "$entries" -eq 3 ] \
+    || { echo "FAIL: expected 3 farm entries, found $entries" >&2; exit 1; }
+
+echo "--- farm warm rerun: zero fast-forwards, stdout unchanged"
+"${fenv[@]}" "$sfarm" > "$scratch/farm_warm.out" 2> "$scratch/farm_warm.err"
+cmp "$scratch/farm_none.out" "$scratch/farm_warm.out"
+grep -q 'farm_produced=0' "$scratch/farm_warm.err" \
+    || { echo "FAIL: warm farm rerun re-produced a prefix" >&2
+         cat "$scratch/farm_warm.err" >&2; exit 1; }
+grep -q 'farm_hits=7' "$scratch/farm_warm.err" \
+    || { echo "FAIL: warm farm rerun did not restore all 7 cells" >&2
+         cat "$scratch/farm_warm.err" >&2; exit 1; }
+
+echo "--- corrupt farm entry: quarantined, re-produced, stdout unchanged"
+victim=$(find "$farm" -name '*.bvl' | sort | head -n 1)
+python3 - "$victim" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[-1] ^= 0xFF  # flip payload bits so the digest cannot match
+open(path, "wb").write(data)
+EOF
+"${fenv[@]}" "$sfarm" > "$scratch/farm_poison.out" 2> "$scratch/farm_poison.err"
+cmp "$scratch/farm_none.out" "$scratch/farm_poison.out"
+[ -e "$victim.corrupt" ] \
+    || { echo "FAIL: corrupt farm entry not quarantined" >&2; exit 1; }
+[ -e "$victim" ] \
+    || { echo "FAIL: corrupt farm entry not re-produced" >&2; exit 1; }
+grep -q 'farm_corrupt=1' "$scratch/farm_poison.err" \
+    || { echo "FAIL: corruption not counted in the sweep summary" >&2
+         cat "$scratch/farm_poison.err" >&2; exit 1; }
+
+echo "--- farm race under subprocess isolation (flock across workers)"
+rm -rf "$farm"   # cold again: every forked worker misses and contends
+"${fenv[@]}" BVL_SWEEP_ISOLATE=1 BVL_JOBS=4 "$sfarm" \
+    > "$scratch/farm_race.out" 2> /dev/null
+cmp "$scratch/farm_none.out" "$scratch/farm_race.out"
+entries=$(find "$farm" -name '*.bvl' | wc -l)
+[ "$entries" -eq 3 ] \
+    || { echo "FAIL: isolate race left $entries entries, expected 3" >&2
+         exit 1; }
+
+echo "checkpoint_smoke.sh: all checkpoint/sampling/farm checks passed"

@@ -7,11 +7,14 @@
 # (deliberately fatal fault plan -> JSON report -> plan minimizer),
 # smoke the sweep service's crash safety (kill -9/resume, cache
 # poisoning, isolation, SIGINT; scripts/sweep_smoke.sh), smoke
-# checkpoint save/restore determinism, corrupt-checkpoint quarantine
-# and sampled-run determinism (scripts/checkpoint_smoke.sh), gate the
-# sampled-simulation cycle-error bound against full detail
-# (fig04_sampled + scripts/check_bench.py --sampled), and gate the
-# kernel microbenchmarks against the pinned baseline
+# checkpoint save/restore determinism, corrupt-checkpoint quarantine,
+# sampled-run determinism and the checkpoint-prefix farm (cold
+# populate, warm zero-fast-forward rerun, corrupt-entry re-production,
+# isolate-mode flock race; scripts/checkpoint_smoke.sh), gate the
+# sweep journal a live sweep just wrote (scripts/check_bench.py
+# --journal), gate the sampled-simulation cycle-error bound against
+# full detail (fig04_sampled + scripts/check_bench.py --sampled), and
+# gate the kernel microbenchmarks against the pinned baseline
 # (scripts/check_bench.py).
 #
 # Suites are selected with ctest labels (see tests/CMakeLists.txt):
@@ -59,6 +62,10 @@ BVL_SCALE=tiny BVL_JOBS=4 BVL_SWEEP_DIR=build/sweep.j4 \
 cmp build/fig04.j1 build/fig04.j4
 echo "fig04_speedup output is byte-identical across thread counts"
 
+echo "=== journal gate (every journaled sweep cell finished ok) ==="
+python3 scripts/check_bench.py \
+    --journal build/sweep.j1/fig04_speedup.journal.jsonl
+
 echo "=== armed-trace determinism (BVL_TRACE_DIR, BVL_JOBS=1 vs 4) ==="
 rm -rf build/traces.j1 build/traces.j4 build/sweep.tj1 build/sweep.tj4
 mkdir -p build/traces.j1 build/traces.j4
@@ -94,7 +101,7 @@ cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j "$jobs" --target microbench_sim >/dev/null
 python3 scripts/check_bench.py --self-test
 ./build-bench/bench/microbench_sim \
-    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath' \
+    --benchmark_filter='BM_EventQueue|BM_TickChurn|BM_Stat|BM_CacheHitPath|BM_FastForwardStep' \
     --benchmark_min_time=0.1 \
     --benchmark_out=build-bench/microbench_ci.json \
     --benchmark_out_format=json

@@ -33,14 +33,18 @@ class BackingStore
     void
     read(Addr addr, void *out, std::size_t n) const
     {
-        // Fast path: the access stays inside the most recently touched
-        // page. Fast-forward executes whole vector loops against this
-        // store element by element, so the hit rate is near 100% and
-        // the hash lookup below is the dominant cost it avoids.
+        // Fast path: the access stays inside a recently touched page.
+        // Fast-forward executes whole vector loops against this store
+        // element by element, so the hit rate is near 100% and the
+        // hash lookup below is the dominant cost it avoids. A small
+        // set (not one entry) keeps it high when fetch, a source
+        // stream and a destination stream alternate across pages.
         Addr off = addr & (pageBytes - 1);
-        if ((addr >> pageShift) == cachedPage && off + n <= pageBytes) {
-            std::memcpy(out, cachedData + off, n);
-            return;
+        if (off + n <= pageBytes) {
+            if (std::uint8_t *data = cacheFind(addr >> pageShift)) {
+                std::memcpy(out, data + off, n);
+                return;
+            }
         }
         readSlow(addr, out, n);
     }
@@ -50,9 +54,11 @@ class BackingStore
     write(Addr addr, const void *src, std::size_t n)
     {
         Addr off = addr & (pageBytes - 1);
-        if ((addr >> pageShift) == cachedPage && off + n <= pageBytes) {
-            std::memcpy(cachedData + off, src, n);
-            return;
+        if (off + n <= pageBytes) {
+            if (std::uint8_t *data = cacheFind(addr >> pageShift)) {
+                std::memcpy(data + off, src, n);
+                return;
+            }
         }
         writeSlow(addr, src, n);
     }
@@ -108,11 +114,31 @@ class BackingStore
     clear()
     {
         pages.clear();
-        cachedPage = ~Addr(0);
-        cachedData = nullptr;
+        for (unsigned i = 0; i < cacheWays; ++i) {
+            cachedPage[i] = ~Addr(0);
+            cachedData[i] = nullptr;
+        }
+        cacheNext = 0;
     }
 
   private:
+    std::uint8_t *
+    cacheFind(Addr pageNum) const
+    {
+        for (unsigned i = 0; i < cacheWays; ++i)
+            if (cachedPage[i] == pageNum)
+                return cachedData[i];
+        return nullptr;
+    }
+
+    void
+    cacheInsert(Addr pageNum, std::uint8_t *data) const
+    {
+        cachedPage[cacheNext] = pageNum;
+        cachedData[cacheNext] = data;
+        cacheNext = (cacheNext + 1) % cacheWays;
+    }
+
     void
     readSlow(Addr addr, void *out, std::size_t n) const
     {
@@ -127,9 +153,9 @@ class BackingStore
                 std::memset(dst, 0, chunk);
             } else {
                 std::memcpy(dst, it->second.data() + off, chunk);
-                cachedPage = addr >> pageShift;
-                cachedData = const_cast<std::uint8_t *>(
-                    it->second.data());
+                cacheInsert(addr >> pageShift,
+                            const_cast<std::uint8_t *>(
+                                it->second.data()));
             }
             dst += chunk;
             addr += chunk;
@@ -151,8 +177,7 @@ class BackingStore
             // The buffer address is stable across map rehashes (the
             // vector owns it on the heap), so caching it is safe until
             // clear().
-            cachedPage = addr >> pageShift;
-            cachedData = page.data();
+            cacheInsert(addr >> pageShift, page.data());
             p += chunk;
             addr += chunk;
             n -= chunk;
@@ -161,12 +186,20 @@ class BackingStore
 
     std::unordered_map<Addr, std::vector<std::uint8_t>> pages;
     /**
-     * One-entry page cache for the element-granular functional
-     * accesses (mutable: a read warms it). A Soc is single-threaded,
-     * so this needs no synchronization; sweeps build one Soc per job.
+     * Small fully-scanned page cache for the element-granular
+     * functional accesses (mutable: a read warms it), replaced
+     * round-robin. Four ways cover the common fast-forward working
+     * set — fetch line, one or two source streams, one destination
+     * stream — where a single entry thrashed on every alternation.
+     * Unallocated zero pages are never cached (a later write would
+     * allocate behind the cache's back). A Soc is single-threaded, so
+     * this needs no synchronization; sweeps build one Soc per job.
      */
-    mutable Addr cachedPage = ~Addr(0);
-    mutable std::uint8_t *cachedData = nullptr;
+    static constexpr unsigned cacheWays = 4;
+    mutable Addr cachedPage[cacheWays] = {~Addr(0), ~Addr(0), ~Addr(0),
+                                          ~Addr(0)};
+    mutable std::uint8_t *cachedData[cacheWays] = {};
+    mutable unsigned cacheNext = 0;
 };
 
 } // namespace bvl

@@ -19,8 +19,8 @@ namespace bvl
 namespace
 {
 
-constexpr const char *kSchema = "bvl-checkpoint-v1";
-constexpr unsigned kVersion = 1;
+constexpr const char *kSchema = "bvl-checkpoint-v2";
+constexpr unsigned kVersion = 2;
 
 /** Executing core of a single-stream run: littles[0] for 1L, else big. */
 ArchState &
@@ -35,26 +35,6 @@ execBpred(Soc &soc)
 {
     return soc.design() == Design::d1L ? nullptr
                                        : &soc.big->predictor();
-}
-
-/**
- * Every cache of the hierarchy in a fixed, design-determined order:
- * little L1Is, little L1Ds, big L1I, big L1D, L2. Save and load use
- * the same order, so position identifies the cache.
- */
-std::vector<Cache *>
-allCaches(Soc &soc)
-{
-    std::vector<Cache *> cs;
-    unsigned n = soc.mem.numLittle();
-    for (unsigned i = 0; i < n; ++i)
-        cs.push_back(&soc.mem.littleL1I(i));
-    for (unsigned i = 0; i < n; ++i)
-        cs.push_back(&soc.mem.littleL1D(i));
-    cs.push_back(&soc.mem.bigL1I());
-    cs.push_back(&soc.mem.bigL1D());
-    cs.push_back(&soc.mem.l2().l2cache());
-    return cs;
 }
 
 // --- little-endian payload writer/reader --------------------------------
@@ -109,16 +89,8 @@ struct Parsed
 
     std::vector<std::pair<Addr, std::vector<std::uint8_t>>> pages;
 
-    struct CacheImage
-    {
-        std::uint8_t indexMode = 0;
-        std::uint32_t numSets = 0;
-        std::uint32_t assoc = 0;
-        std::vector<Cache::WayState> ways;
-    };
-    std::vector<CacheImage> caches;
-
-    std::unordered_map<Addr, std::uint32_t> sharers;
+    /** Tier-B recipe, fully decoded before anything is applied. */
+    std::vector<WarmRecord> warm;
 };
 
 bool
@@ -162,34 +134,18 @@ parsePayload(const std::string &payload, Parsed &out)
         out.pages.emplace_back(pageNum, std::move(bytes));
     }
 
-    std::uint32_t cacheCount = r.get32();
-    if (!r.ok || cacheCount > 1024)
+    std::uint64_t warmRecords = r.get64();
+    std::uint64_t warmBytes = r.get64();
+    // Each record is at least 2 bytes (tag + one varint byte), so the
+    // count is bounded by the remaining payload.
+    if (!r.ok || warmBytes > std::uint64_t(r.end - r.p) ||
+        warmRecords > warmBytes / 2 + 1) {
         return false;
-    out.caches.resize(cacheCount);
-    for (auto &c : out.caches) {
-        c.indexMode = r.get8();
-        c.numSets = r.get32();
-        c.assoc = r.get32();
-        std::uint64_t ways = std::uint64_t(c.numSets) * c.assoc;
-        if (!r.ok || ways > std::uint64_t(r.end - r.p) / 18)
-            return false;
-        c.ways.resize(ways);
-        for (auto &w : c.ways) {
-            w.valid = r.get8() != 0;
-            w.dirty = r.get8() != 0;
-            w.line = r.get64();
-            w.lastUse = r.get64();
-        }
     }
-
-    std::uint64_t sharerCount = r.get64();
-    if (!r.ok || sharerCount > std::uint64_t(r.end - r.p) / 12)
+    std::string stream(r.p, warmBytes);
+    r.p += warmBytes;
+    if (!decodeWarmTrace(stream, warmRecords, out.warm))
         return false;
-    for (std::uint64_t i = 0; i < sharerCount; ++i) {
-        Addr line = r.get64();
-        std::uint32_t mask = r.get32();
-        out.sharers[line] = mask;
-    }
 
     return r.ok && r.p == r.end;
 }
@@ -208,9 +164,44 @@ checkpointStatusName(CheckpointStatus s)
     return "?";
 }
 
+const char *
+checkpointFlavor(const Soc &soc)
+{
+    if (soc.design() == Design::d1L)
+        return "little-scalar";
+    return designHasVector(soc.design()) ? "big-vector" : "big-scalar";
+}
+
+std::string
+checkpointInputSha256(const Soc &soc, Workload &workload)
+{
+    Sha256 d;
+    std::vector<std::pair<Addr, const std::vector<std::uint8_t> *>>
+        pages;
+    for (const auto &kv : soc.backing.pageMap())
+        pages.emplace_back(kv.first, &kv.second);
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[num, bytes] : pages) {
+        std::uint64_t n = num;
+        d.update(&n, sizeof(n));
+        d.update(bytes->data(), bytes->size());
+    }
+    for (const auto &[reg, value] : workload.fullRangeArgs()) {
+        std::uint32_t r = static_cast<std::uint32_t>(reg);
+        std::uint64_t v = value;
+        d.update(&r, sizeof(r));
+        d.update(&v, sizeof(v));
+    }
+    return d.hex();
+}
+
 bool
 saveCheckpoint(const std::string &path, Soc &soc,
                const std::string &workloadName, std::uint64_t ffInsts,
+               const WarmTrace &trace, const std::string &inputSha,
                std::string *error)
 {
     std::string payload;
@@ -221,7 +212,7 @@ saveCheckpoint(const std::string &path, Soc &soc,
     put64(payload, archBytes.size());
     payload += archBytes;
 
-    // 2. Branch predictor (big-core designs only).
+    // 2. Branch predictor (big-core flavors only).
     GsharePredictor *bp = execBpred(soc);
     put8(payload, bp ? 1 : 0);
     if (bp) {
@@ -249,38 +240,19 @@ saveCheckpoint(const std::string &path, Soc &soc,
                        bytes->size());
     }
 
-    // 4. Cache tag/LRU arrays in the fixed allCaches() order.
-    auto caches = allCaches(soc);
-    put32(payload, std::uint32_t(caches.size()));
-    for (Cache *c : caches) {
-        put8(payload, std::uint8_t(c->getIndexMode()));
-        put32(payload, c->setCount());
-        put32(payload, c->params().assoc);
-        for (const auto &w : c->dumpWays()) {
-            put8(payload, w.valid ? 1 : 0);
-            put8(payload, w.dirty ? 1 : 0);
-            put64(payload, w.line);
-            put64(payload, w.lastUse);
-        }
-    }
-
-    // 5. L2 directory sharer bitmaps, sorted by line.
-    std::vector<std::pair<Addr, std::uint32_t>> sharers(
-        soc.mem.l2().sharerMap().begin(),
-        soc.mem.l2().sharerMap().end());
-    std::sort(sharers.begin(), sharers.end());
-    put64(payload, sharers.size());
-    for (const auto &[line, mask] : sharers) {
-        put64(payload, line);
-        put32(payload, mask);
-    }
+    // 4. Tier-B warm stream (replayed, not imaged, at load time).
+    put64(payload, trace.records());
+    put64(payload, trace.bytes().size());
+    payload += trace.bytes();
 
     Json header = Json::object();
     header.set("schema", kSchema);
     header.set("version", kVersion);
-    header.set("design", designName(soc.design()));
+    header.set("flavor", checkpointFlavor(soc));
+    header.set("vlen", std::uint64_t(soc.vlenBits()));
     header.set("workload", workloadName);
     header.set("ffInsts", ffInsts);
+    header.set("inputSha256", inputSha);
     header.set("payloadBytes", std::uint64_t(payload.size()));
     header.set("payloadSha256", sha256Hex(payload));
 
@@ -331,7 +303,8 @@ saveCheckpoint(const std::string &path, Soc &soc,
 
 CheckpointStatus
 loadCheckpoint(const std::string &path, Soc &soc,
-               const std::string &workloadName, std::string *error)
+               const std::string &workloadName,
+               const std::string &inputSha, std::string *error)
 {
     auto fail = [&](CheckpointStatus st, const std::string &why) {
         if (error)
@@ -363,14 +336,22 @@ loadCheckpoint(const std::string &path, Soc &soc,
         return fail(CheckpointStatus::corrupt,
                     "unknown schema/version");
     }
-    if (header["design"].asString() != designName(soc.design()) ||
-        header["workload"].asString() != workloadName) {
+    if (header["workload"].asString() != workloadName ||
+        header["flavor"].asString() != checkpointFlavor(soc) ||
+        header["vlen"].asU64() != soc.vlenBits()) {
         return fail(CheckpointStatus::mismatch,
                     "checkpoint is for " +
-                        header["design"].asString() + "/" +
-                        header["workload"].asString() + ", not " +
-                        designName(soc.design()) + "/" + workloadName);
+                        header["workload"].asString() + "/" +
+                        header["flavor"].asString() + "/vlen" +
+                        std::to_string(header["vlen"].asU64()) +
+                        ", not " + workloadName + "/" +
+                        checkpointFlavor(soc) + "/vlen" +
+                        std::to_string(soc.vlenBits()));
     }
+    if (header["inputSha256"].asString() != inputSha)
+        return fail(CheckpointStatus::mismatch,
+                    "initial memory/argument digest differs (other "
+                    "scale or dataset?)");
 
     std::string payload = data.substr(nl + 1);
     if (payload.size() != header["payloadBytes"].asU64())
@@ -382,19 +363,7 @@ loadCheckpoint(const std::string &path, Soc &soc,
     if (!parsePayload(payload, img))
         return fail(CheckpointStatus::corrupt, "malformed payload");
 
-    // Geometry verification before anything is applied.
-    auto caches = allCaches(soc);
-    if (img.caches.size() != caches.size())
-        return fail(CheckpointStatus::mismatch, "cache count differs");
-    for (std::size_t i = 0; i < caches.size(); ++i) {
-        if (img.caches[i].numSets != caches[i]->setCount() ||
-            img.caches[i].assoc != caches[i]->params().assoc ||
-            img.caches[i].indexMode > 1) {
-            return fail(CheckpointStatus::mismatch,
-                        "geometry of " + caches[i]->name() +
-                            " differs");
-        }
-    }
+    // Predictor-geometry verification before anything is applied.
     GsharePredictor *bp = execBpred(soc);
     if (img.hasBpred != (bp != nullptr) ||
         (bp && (img.bpredBits != bp->tableIndexBits() ||
@@ -416,12 +385,26 @@ loadCheckpoint(const std::string &path, Soc &soc,
         soc.backing.write(pageNum << BackingStore::pageShift,
                           bytes.data(), bytes.size());
 
-    for (std::size_t i = 0; i < caches.size(); ++i) {
-        caches[i]->setIndexMode(IndexMode(img.caches[i].indexMode));
-        bool waysOk = caches[i]->loadWays(img.caches[i].ways);
-        bvl_assert(waysOk, "cache geometry verified but load failed");
+    // Tier B: replay the recorded warm calls through *this* SoC's
+    // hierarchy. Warm accesses at tick 0 are deterministic functions
+    // of the access sequence alone, so this leaves exactly the state
+    // a live fast-forward would have — whatever the cache geometry.
+    unsigned coreId = soc.design() == Design::d1L
+                          ? 0u : soc.mem.bigCoreId();
+    for (const WarmRecord &w : img.warm) {
+        Addr addr = w.lineNum << lineShift;
+        switch (w.kind) {
+          case WarmRecord::fetch:
+            soc.mem.warmFetch(coreId, addr);
+            break;
+          case WarmRecord::data:
+            soc.mem.warmData(coreId, addr, w.isStore);
+            break;
+          case WarmRecord::l2:
+            soc.mem.warmL2(addr, w.isStore);
+            break;
+        }
     }
-    soc.mem.l2().loadSharers(std::move(img.sharers));
 
     return CheckpointStatus::ok;
 }

@@ -1,16 +1,21 @@
 /**
  * @file
  * Versioned, digest-protected checkpoints of one simulated SoC
- * (DESIGN.md §15).
+ * (DESIGN.md §15/§16).
  *
- * A checkpoint captures everything needed to resume detailed timing
- * from a fast-forwarded point and get byte-identical results:
+ * The v2 format is two-tier, so one checkpoint serves every cache
+ * geometry that shares the same functional prefix:
  *
- *  - architectural state of the executing core (registers, pc, vl/sew)
- *  - the big core's branch predictor (counters + global history)
- *  - the full backing-store memory image
- *  - warm microarchitectural state: every cache's tag/dirty/LRU array
- *    and index mode, and the L2 directory's sharer bitmaps
+ *  - tier A (stored): design-independent architectural state — the
+ *    executing core's ArchState dump, the branch-predictor tables
+ *    (big-core flavors), and the full backing-store memory image.
+ *  - tier B (rederived): warm microarchitectural state. Instead of
+ *    cache tag/LRU images, the file carries the compact line-access
+ *    stream fast-forward recorded (soc/warm_trace.hh); loading
+ *    replays it through the restoring SoC's own warm ports, which
+ *    reproduces exactly what a live fast-forward would have left in
+ *    *that* SoC's caches and L2 directory — for any set count,
+ *    associativity or index mode.
  *
  * Not captured, by construction: MSHRs, pipeline and engine state
  * (checkpoints are only taken at fast-forward boundaries where all of
@@ -18,13 +23,20 @@
  * with no row tracking, so it has nothing warmable).
  *
  * On-disk format: one JSON header line
- *   {"schema":"bvl-checkpoint-v1","version":1,"design":...,
- *    "workload":...,"ffInsts":N,"payloadBytes":N,"payloadSha256":...}
+ *   {"schema":"bvl-checkpoint-v2","version":2,"flavor":...,"vlen":N,
+ *    "workload":...,"ffInsts":N,"inputSha256":...,
+ *    "payloadBytes":N,"payloadSha256":...}
  * followed by a raw binary payload in host (little-endian) byte
- * order. The header's SHA-256 protects the payload: any mismatch —
- * truncation, bit rot, manual edits — makes loadCheckpoint() report
- * corrupt, and the caller quarantines the file and re-simulates;
- * a checkpoint is never silently trusted.
+ * order. "flavor" names the functional trajectory (which program
+ * stream, which core kind executes it), "vlen" the vector length it
+ * was traced at, and "inputSha256" digests the initial memory image +
+ * register arguments — together they identify the prefix without
+ * naming a design, which is what lets different designs share the
+ * file. The payload SHA-256 protects against truncation, bit rot and
+ * manual edits: any mismatch makes loadCheckpoint() report corrupt,
+ * the caller quarantines the file and re-simulates; a checkpoint is
+ * never silently trusted. v1 files fail the schema check and take the
+ * same quarantine path.
  */
 
 #ifndef BVL_SOC_CHECKPOINT_HH
@@ -33,6 +45,8 @@
 #include <string>
 
 #include "soc/soc.hh"
+#include "soc/warm_trace.hh"
+#include "workloads/workload.hh"
 
 namespace bvl
 {
@@ -42,28 +56,54 @@ enum class CheckpointStatus
     ok,        ///< loaded and applied
     missing,   ///< no file at the path
     corrupt,   ///< unreadable / bad digest / truncated payload
-    mismatch,  ///< valid file for a different design/workload/geometry
+    mismatch,  ///< valid file for a different prefix/flavor/geometry
 };
 
 const char *checkpointStatusName(CheckpointStatus s);
 
 /**
+ * The functional-trajectory flavor of @p soc's single program stream:
+ * "little-scalar" (1L), "big-scalar" (1b) or "big-vector" (the vector
+ * designs). Together with vlenBits() this determines which program
+ * runs, which core's ArchState holds it, and whether a branch
+ * predictor is trained — everything design-specific about a prefix.
+ */
+const char *checkpointFlavor(const Soc &soc);
+
+/**
+ * SHA-256 over the initial functional inputs of a run: the
+ * backing-store memory image (pages sorted by number) and the
+ * workload's full-range register arguments. Workload name + scale +
+ * datasets all fold into this one digest, which the checkpoint header
+ * records and loadCheckpoint() verifies — a checkpoint can never be
+ * applied to inputs it was not traced from. Must be computed before
+ * fast-forward mutates memory.
+ */
+std::string checkpointInputSha256(const Soc &soc, Workload &workload);
+
+/**
  * Snapshot @p soc to @p path (atomic: temp file + fsync + rename).
- * @p ffInsts is recorded in the header for provenance. The SoC must
- * be at a fast-forward boundary (no events in flight). Returns false
+ * @p trace is the warm line-access stream recorded during the
+ * fast-forward that produced this state; @p inputSha is
+ * checkpointInputSha256() of the run's initial inputs. Returns false
  * and fills @p error on I/O failure.
  */
 bool saveCheckpoint(const std::string &path, Soc &soc,
                     const std::string &workloadName,
-                    std::uint64_t ffInsts, std::string *error = nullptr);
+                    std::uint64_t ffInsts, const WarmTrace &trace,
+                    const std::string &inputSha,
+                    std::string *error = nullptr);
 
 /**
- * Load a checkpoint and apply it to @p soc. The file is fully parsed
- * and verified (digest, design/workload names, cache geometry) before
- * anything is applied, so on any non-ok status @p soc is untouched.
+ * Load a checkpoint and apply it to @p soc, replaying the stored warm
+ * stream through the SoC's own cache hierarchy. The file is fully
+ * parsed and verified (digest, workload/flavor/vlen/input identity,
+ * predictor geometry, stream decode) before anything is applied, so
+ * on any non-ok status @p soc is untouched.
  */
 CheckpointStatus loadCheckpoint(const std::string &path, Soc &soc,
                                 const std::string &workloadName,
+                                const std::string &inputSha,
                                 std::string *error = nullptr);
 
 /**

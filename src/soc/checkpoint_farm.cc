@@ -1,0 +1,188 @@
+#include "soc/checkpoint_farm.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "sim/env.hh"
+#include "sweep/service/digest.hh"
+#include "sweep/service/job_hash.hh"
+
+namespace bvl
+{
+
+namespace
+{
+
+// Process-wide so the sweep summary can report farm effectiveness
+// without threading a farm object through every cell. Thread-mode
+// workers share these; isolate-mode children lose theirs at exit (the
+// inform() lines in each cell's log still tell the story).
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_produced{0};
+std::atomic<std::uint64_t> g_corrupt{0};
+std::atomic<std::uint64_t> g_evicted{0};
+
+} // namespace
+
+std::string
+CheckpointFarm::defaultDir()
+{
+    const char *env = std::getenv("BVL_CKPT_DIR");
+    return env && *env ? env : ".bvl-ckpt";
+}
+
+std::uint64_t
+CheckpointFarm::budgetBytesFromEnv()
+{
+    return std::uint64_t(envInt("BVL_CKPT_BUDGET_MB", 0, 0,
+                                1ll << 30)) *
+           (1ull << 20);
+}
+
+std::string
+CheckpointFarm::prefixHashHex(const std::string &workloadName,
+                              std::uint64_t ffInsts,
+                              const std::string &flavor,
+                              std::uint64_t vlenBits,
+                              const std::string &inputSha)
+{
+    Sha256 d;
+    auto feed = [&](const std::string &s) {
+        d.update(s.data(), s.size());
+        d.update("\0", 1);
+    };
+    feed(workloadName);
+    feed(std::to_string(ffInsts));
+    feed(flavor);
+    feed(std::to_string(vlenBits));
+    feed(inputSha);
+    feed(kLibraryRevision);
+    return d.hex();
+}
+
+CheckpointFarm::CheckpointFarm(std::string dir) : _dir(std::move(dir))
+{
+}
+
+std::string
+CheckpointFarm::entryPath(const std::string &hash) const
+{
+    return _dir + "/" + hash.substr(0, 2) + "/" + hash + ".bvl";
+}
+
+CheckpointFarm::Claim::Claim(const std::string &entryPath)
+{
+    std::error_code ec;
+    auto parent = std::filesystem::path(entryPath).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::string lock = entryPath + ".lock";
+    // Each Claim opens its own file description, so LOCK_EX contends
+    // between threads of one process as well as between processes.
+    fd = ::open(lock.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0)
+        return;
+    while (::flock(fd, LOCK_EX) != 0) {
+        if (errno != EINTR) {
+            ::close(fd);
+            fd = -1;
+            return;
+        }
+    }
+}
+
+CheckpointFarm::Claim::~Claim()
+{
+    if (fd >= 0) {
+        ::flock(fd, LOCK_UN);
+        ::close(fd);
+    }
+}
+
+void
+CheckpointFarm::touch(const std::string &entryPath)
+{
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        entryPath, std::filesystem::file_time_type::clock::now(), ec);
+}
+
+unsigned
+CheckpointFarm::evictOverBudget(std::uint64_t budgetBytes,
+                                const std::string &keepPath) const
+{
+    if (budgetBytes == 0)
+        return 0;
+
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t bytes;
+    };
+    std::error_code ec;
+    fs::path keep = fs::weakly_canonical(keepPath, ec);
+
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    for (auto it = fs::recursive_directory_iterator(
+             _dir, fs::directory_options::skip_permission_denied, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec) || it->path().extension() != ".bvl")
+            continue;
+        Entry e;
+        e.path = it->path();
+        e.mtime = fs::last_write_time(e.path, ec);
+        e.bytes = it->file_size(ec);
+        entries.push_back(std::move(e));
+        total += entries.back().bytes;
+    }
+    if (total <= budgetBytes)
+        return 0;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+
+    unsigned removed = 0;
+    for (const Entry &e : entries) {
+        if (total <= budgetBytes)
+            break;
+        if (fs::weakly_canonical(e.path, ec) == keep)
+            continue;
+        if (fs::remove(e.path, ec) && !ec) {
+            total -= e.bytes;
+            ++removed;
+        }
+    }
+    if (removed)
+        noteEvicted(removed);
+    return removed;
+}
+
+void CheckpointFarm::noteHit() { ++g_hits; }
+void CheckpointFarm::noteProduced() { ++g_produced; }
+void CheckpointFarm::noteCorrupt() { ++g_corrupt; }
+
+void
+CheckpointFarm::noteEvicted(unsigned n)
+{
+    g_evicted += n;
+}
+
+std::uint64_t CheckpointFarm::hits() { return g_hits; }
+std::uint64_t CheckpointFarm::produced() { return g_produced; }
+std::uint64_t CheckpointFarm::corrupt() { return g_corrupt; }
+std::uint64_t CheckpointFarm::evicted() { return g_evicted; }
+
+} // namespace bvl

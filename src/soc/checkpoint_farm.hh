@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Content-addressed checkpoint-prefix farm (DESIGN.md §16).
+ *
+ * A sweep re-runs one workload prefix under many design points. With
+ * v2 two-tier checkpoints the fast-forwarded prefix is identical for
+ * every cell that shares (workload, ffInsts, flavor, vlen, inputs) —
+ * so the farm stores exactly one entry per such prefix, keyed by its
+ * SHA-256, and every cell after the first restores instead of
+ * re-simulating.
+ *
+ * Production is single-flight: the first cell to miss takes an
+ * exclusive flock(2) on "<entry>.lock", re-checks (another producer
+ * may have published while it waited), fast-forwards once and
+ * publishes atomically (temp + fsync + rename). Cells blocked on the
+ * lock wake to find the entry on disk. flock contends both across
+ * threads (each Claim opens its own file description) and across
+ * BVL_SWEEP_ISOLATE=1 worker processes, and the kernel drops it if a
+ * producer dies — no stale-lock recovery protocol is needed.
+ *
+ * Entries are never trusted blindly: a failed digest quarantines the
+ * file to "*.corrupt" and the prefix is re-produced. A byte budget
+ * (BVL_CKPT_BUDGET_MB) is enforced after each publication by evicting
+ * the least-recently-used entries (mtime order; hits touch mtime).
+ */
+
+#ifndef BVL_SOC_CHECKPOINT_FARM_HH
+#define BVL_SOC_CHECKPOINT_FARM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bvl
+{
+
+class CheckpointFarm
+{
+  public:
+    /** $BVL_CKPT_DIR, defaulting to ".bvl-ckpt". */
+    static std::string defaultDir();
+
+    /** BVL_CKPT_BUDGET_MB in bytes; 0 (the default) = unlimited. */
+    static std::uint64_t budgetBytesFromEnv();
+
+    /**
+     * Content key of one fast-forward prefix. Everything that shapes
+     * the functional trajectory and warm stream goes in: workload,
+     * instruction count, flavor + vlen (which program text runs and
+     * on what), the input digest (memory image + arguments, hence
+     * scale and datasets), and the library revision.
+     */
+    static std::string prefixHashHex(const std::string &workloadName,
+                                     std::uint64_t ffInsts,
+                                     const std::string &flavor,
+                                     std::uint64_t vlenBits,
+                                     const std::string &inputSha);
+
+    explicit CheckpointFarm(std::string dir);
+
+    const std::string &dir() const { return _dir; }
+
+    /** "<dir>/<hash[0:2]>/<hash>.bvl" (result-cache sharding). */
+    std::string entryPath(const std::string &hash) const;
+
+    /**
+     * RAII exclusive flock on "<entry>.lock". The constructor BLOCKS
+     * until the lock is granted; destruction (or process death)
+     * releases it. held() is false only if the lock file could not be
+     * created — callers then fall back to producing without
+     * single-flight (correct, just not deduplicated).
+     */
+    class Claim
+    {
+      public:
+        explicit Claim(const std::string &entryPath);
+        ~Claim();
+        Claim(const Claim &) = delete;
+        Claim &operator=(const Claim &) = delete;
+
+        bool held() const { return fd >= 0; }
+
+      private:
+        int fd = -1;
+    };
+
+    /** Mark @p entryPath recently used (best effort, for LRU). */
+    static void touch(const std::string &entryPath);
+
+    /**
+     * Delete oldest-mtime "*.bvl" entries until the farm fits
+     * @p budgetBytes (0 = unlimited). @p keepPath, the entry just
+     * produced for the current cell, is never evicted. Returns the
+     * number of entries removed.
+     */
+    unsigned evictOverBudget(std::uint64_t budgetBytes,
+                             const std::string &keepPath) const;
+
+    // --- process-wide telemetry (reported in the sweep summary) -----
+
+    static void noteHit();
+    static void noteProduced();
+    static void noteCorrupt();
+    static void noteEvicted(unsigned n);
+
+    static std::uint64_t hits();
+    static std::uint64_t produced();
+    static std::uint64_t corrupt();
+    static std::uint64_t evicted();
+
+  private:
+    std::string _dir;
+};
+
+} // namespace bvl
+
+#endif // BVL_SOC_CHECKPOINT_FARM_HH

@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "soc/checkpoint.hh"
+#include "soc/checkpoint_farm.hh"
 
 namespace bvl
 {
@@ -9,7 +10,7 @@ namespace bvl
 FastForwardResult
 fastForward(Soc &soc, ArchState &arch, const Program &prog,
             std::uint64_t maxInsts, unsigned coreId,
-            GsharePredictor *bpred, bool warm)
+            GsharePredictor *bpred, bool warm, WarmTrace *traceOut)
 {
     FastForwardResult res;
     Addr lastFetchLine = ~Addr(0);
@@ -24,6 +25,8 @@ fastForward(Soc &soc, ArchState &arch, const Program &prog,
             if (lineOf(ia) != lastFetchLine) {
                 lastFetchLine = lineOf(ia);
                 soc.mem.warmFetch(coreId, ia);
+                if (traceOut)
+                    traceOut->add(WarmRecord::fetch, lineOf(ia), false);
             }
         }
 
@@ -46,10 +49,16 @@ fastForward(Soc &soc, ArchState &arch, const Program &prog,
                     if (ln != prevLine) {
                         prevLine = ln;
                         soc.mem.warmL2(a, tr.isStore);
+                        if (traceOut)
+                            traceOut->add(WarmRecord::l2, ln,
+                                          tr.isStore);
                     }
                 }
             } else if (tr.isMem) {
                 soc.mem.warmData(coreId, tr.addr, tr.isStore);
+                if (traceOut)
+                    traceOut->add(WarmRecord::data, lineOf(tr.addr),
+                                  tr.isStore);
             }
         }
 
@@ -136,13 +145,49 @@ runFastForwarded(Soc &soc, Design design, Workload &workload,
         return fin;
     };
 
-    // --- checkpoint save / restore ----------------------------------
+    // --- checkpoint save / restore / farm / plain fast-forward ------
 
     if (ckpt.enabled()) {
+        if (ckpt.farm &&
+            (!ckpt.savePath.empty() || !ckpt.restorePath.empty()))
+            fatal("the checkpoint farm manages its own entry paths; "
+                  "farm mode cannot be combined with an explicit "
+                  "save/restore path");
+        if (ckpt.farm && ckpt.ffInsts == 0)
+            fatal("farm mode needs ffInsts > 0: the prefix length is "
+                  "part of the farm entry's identity");
+        if (ckpt.strict && ckpt.restorePath.empty())
+            fatal("strict mode only constrains --restore; nothing to "
+                  "be strict about without a restore path");
+        if (ckpt.strict && ckpt.ffInsts > 0)
+            fatal("strict restore never re-simulates; drop ffInsts "
+                  "(or drop strict to allow the fast-forward "
+                  "fallback)");
+
+        // Run the fast-forward prefix functionally, optionally
+        // recording the warm stream; fatal()s if the program halts
+        // inside the prefix (a checkpoint there would be useless).
+        auto producePrefix = [&](WarmTrace *trace) {
+            auto ff = fastForward(soc, arch, *prog, ckpt.ffInsts,
+                                  coreId, bp, true, trace);
+            if (ff.halted)
+                fatal("workload halted after %llu instructions during "
+                      "fast-forward; reduce ffInsts",
+                      static_cast<unsigned long long>(ff.executed));
+        };
+
         if (!ckpt.restorePath.empty()) {
+            // Digest the initial inputs before fast-forward (or the
+            // checkpoint itself) mutates memory.
+            std::string inputSha = checkpointInputSha256(soc, workload);
             std::string err;
-            CheckpointStatus st = loadCheckpoint(
-                ckpt.restorePath, soc, workload.name(), &err);
+            CheckpointStatus st =
+                loadCheckpoint(ckpt.restorePath, soc, workload.name(),
+                               inputSha, &err);
+            if (ckpt.strict && st != CheckpointStatus::ok)
+                fatal("strict restore of %s failed (%s): %s",
+                      ckpt.restorePath.c_str(),
+                      checkpointStatusName(st), err.c_str());
             if (st == CheckpointStatus::mismatch)
                 fatal("checkpoint %s does not match this run: %s",
                       ckpt.restorePath.c_str(), err.c_str());
@@ -164,28 +209,88 @@ runFastForwarded(Soc &soc, Design design, Workload &workload,
                     fatal("cannot re-simulate in place of checkpoint "
                           "%s: checkpoint ffInsts is 0",
                           ckpt.restorePath.c_str());
-                auto ff = fastForward(soc, arch, *prog, ckpt.ffInsts,
-                                      coreId, bp, true);
-                if (ff.halted)
-                    fatal("workload halted after %llu instructions "
-                          "during fast-forward; reduce ffInsts",
-                          static_cast<unsigned long long>(ff.executed));
+                producePrefix(nullptr);
             }
-        } else {
-            auto ff = fastForward(soc, arch, *prog, ckpt.ffInsts,
-                                  coreId, bp, true);
-            if (ff.halted)
-                fatal("workload halted after %llu instructions during "
-                      "fast-forward; reduce ffInsts",
-                      static_cast<unsigned long long>(ff.executed));
+        } else if (ckpt.farm) {
+            std::string inputSha = checkpointInputSha256(soc, workload);
+            CheckpointFarm farm(ckpt.farmDir.empty()
+                                    ? CheckpointFarm::defaultDir()
+                                    : ckpt.farmDir);
+            std::string hash = CheckpointFarm::prefixHashHex(
+                workload.name(), ckpt.ffInsts, checkpointFlavor(soc),
+                soc.vlenBits(), inputSha);
+            std::string entry = farm.entryPath(hash);
+
+            // Optimistic fast path: a published entry restores with
+            // no lock traffic at all.
+            auto tryRestore = [&]() -> bool {
+                std::string err;
+                CheckpointStatus st = loadCheckpoint(
+                    entry, soc, workload.name(), inputSha, &err);
+                if (st == CheckpointStatus::ok) {
+                    CheckpointFarm::touch(entry);
+                    CheckpointFarm::noteHit();
+                    inform("checkpoint farm: restored prefix %s from "
+                           "%s", hash.substr(0, 12).c_str(),
+                           entry.c_str());
+                    return true;
+                }
+                if (st == CheckpointStatus::mismatch)
+                    // The key covers everything the file identifies
+                    // itself by, so this cannot happen short of a
+                    // hash collision or a mis-filed entry.
+                    fatal("farm entry %s exists but describes a "
+                          "different prefix: %s", entry.c_str(),
+                          err.c_str());
+                if (st == CheckpointStatus::corrupt) {
+                    quarantineCheckpoint(entry);
+                    CheckpointFarm::noteCorrupt();
+                    warn("farm entry %s is corrupt (%s); quarantined "
+                         "and re-producing", entry.c_str(),
+                         err.c_str());
+                }
+                return false;
+            };
+
+            if (!tryRestore()) {
+                // Single-flight: first claimant produces, everyone
+                // else blocks here and restores what it published.
+                CheckpointFarm::Claim claim(entry);
+                if (!claim.held() || !tryRestore()) {
+                    WarmTrace trace;
+                    producePrefix(&trace);
+                    std::string err;
+                    if (!saveCheckpoint(entry, soc, workload.name(),
+                                        ckpt.ffInsts, trace, inputSha,
+                                        &err))
+                        fatal("cannot publish farm entry %s: %s",
+                              entry.c_str(), err.c_str());
+                    CheckpointFarm::noteProduced();
+                    inform("checkpoint farm: produced prefix %s at %s "
+                           "(%llu warm records)",
+                           hash.substr(0, 12).c_str(), entry.c_str(),
+                           static_cast<unsigned long long>(
+                               trace.records()));
+                    farm.evictOverBudget(
+                        CheckpointFarm::budgetBytesFromEnv(), entry);
+                }
+            }
+        } else if (!ckpt.savePath.empty()) {
+            std::string inputSha = checkpointInputSha256(soc, workload);
+            WarmTrace trace;
+            producePrefix(&trace);
             std::string err;
             if (!saveCheckpoint(ckpt.savePath, soc, workload.name(),
-                                ckpt.ffInsts, &err))
+                                ckpt.ffInsts, trace, inputSha, &err))
                 fatal("cannot write checkpoint %s: %s",
                       ckpt.savePath.c_str(), err.c_str());
             inform("checkpoint written to %s after %llu instructions",
                    ckpt.savePath.c_str(),
-                   static_cast<unsigned long long>(ff.executed));
+                   static_cast<unsigned long long>(ckpt.ffInsts));
+        } else {
+            // Plain fast-forward: the cold per-cell baseline a farm
+            // amortizes away. No file is read or written.
+            producePrefix(nullptr);
         }
         out.finished = runWindowBlocking(0);
         return out;

@@ -28,6 +28,7 @@
 
 #include "soc/run_driver.hh"
 #include "soc/soc.hh"
+#include "soc/warm_trace.hh"
 #include "workloads/workload.hh"
 
 namespace bvl
@@ -46,11 +47,15 @@ struct FastForwardResult
  * for vector element traffic — the L2 + directory are warmed
  * tag/LRU-only, and @p bpred (may be null) is trained on every
  * conditional branch, all without touching a single stat counter.
+ * A non-null @p traceOut additionally records every warm call as a
+ * compact line-access stream (soc/warm_trace.hh), the tier-B half of
+ * a v2 checkpoint-farm entry.
  */
 FastForwardResult fastForward(Soc &soc, ArchState &arch,
                               const Program &prog,
                               std::uint64_t maxInsts, unsigned coreId,
-                              GsharePredictor *bpred, bool warm);
+                              GsharePredictor *bpred, bool warm,
+                              WarmTrace *traceOut = nullptr);
 
 /** Outcome of a sampled or checkpointed run. */
 struct FfRunOutcome

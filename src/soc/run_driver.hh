@@ -67,15 +67,32 @@ struct SamplingOptions
  * missing or corrupt checkpoint is quarantined (renamed *.corrupt)
  * and re-simulated from scratch via @p ffInsts — never silently
  * trusted — which yields byte-identical results by construction.
+ *
+ * Three further shapes (DESIGN.md §16):
+ *  - plain fast-forward: @p ffInsts alone (no paths) skips the prefix
+ *    functionally every run — the cold baseline a sweep pays per cell.
+ *  - farm mode: @p farm resolves the run's prefix hash in the
+ *    content-addressed checkpoint farm at @p farmDir (or
+ *    CheckpointFarm::defaultDir()); the first cell to miss produces
+ *    the entry once (single-flight), everyone else restores it.
+ *  - strict restore: @p strict turns the restore fallback into a
+ *    reported failure — a missing/corrupt/mismatched @p restorePath
+ *    is fatal instead of silently re-simulated.
  */
 struct CheckpointOptions
 {
     std::string savePath;       ///< write a checkpoint here ("" = off)
     std::string restorePath;    ///< resume from this file ("" = off)
     std::uint64_t ffInsts = 0;  ///< insts to fast-forward before saving
+    bool farm = false;          ///< share the prefix via the farm
+    std::string farmDir;        ///< farm directory ("" = env/default)
+    bool strict = false;        ///< restore must succeed; never re-ff
 
     bool enabled() const
-    { return !savePath.empty() || !restorePath.empty(); }
+    {
+        return !savePath.empty() || !restorePath.empty() || farm ||
+               ffInsts > 0;
+    }
 };
 
 struct RunOptions

@@ -111,6 +111,9 @@ checkpointOptionsToJson(const CheckpointOptions &c)
     j.set("savePath", c.savePath);
     j.set("restorePath", c.restorePath);
     j.set("ffInsts", c.ffInsts);
+    j.set("farm", c.farm);
+    j.set("farmDir", c.farmDir);
+    j.set("strict", c.strict);
     return j;
 }
 
@@ -126,6 +129,12 @@ checkpointOptionsFromJson(const Json &j)
         c.restorePath = j["restorePath"].asString();
     if (j.has("ffInsts"))
         c.ffInsts = j["ffInsts"].asU64();
+    if (j.has("farm"))
+        c.farm = j["farm"].asBool();
+    if (j.has("farmDir"))
+        c.farmDir = j["farmDir"].asString();
+    if (j.has("strict"))
+        c.strict = j["strict"].asBool();
     return c;
 }
 

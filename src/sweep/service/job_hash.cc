@@ -24,6 +24,12 @@ jobHashHex(const SweepJob &job)
     // the measured windows and therefore the result.
     canonical.checkpoint.savePath.clear();
     canonical.checkpoint.restorePath.clear();
+    // Farm mode and strict-restore are likewise perf/robustness knobs
+    // around the same byte-identical result: a farm-restored cell
+    // matches a cold fast-forwarded one by construction.
+    canonical.checkpoint.farm = false;
+    canonical.checkpoint.farmDir.clear();
+    canonical.checkpoint.strict = false;
 
     Sha256 d;
     auto feed = [&](const std::string &s) {

@@ -97,7 +97,7 @@ SweepJournal::lookup(const std::string &hash, RunResult *out,
 void
 SweepJournal::append(const std::string &hash, const SweepJob &job,
                      unsigned attempts, const char *source,
-                     const RunResult &result)
+                     const RunResult &result, double wallMs)
 {
     if (fd < 0)
         return;
@@ -110,6 +110,7 @@ SweepJournal::append(const std::string &hash, const SweepJob &job,
     row.set("scale", scaleName(job.scale));
     row.set("attempts", attempts);
     row.set("source", source);
+    row.set("wallMs", wallMs);
     row.set("result", runResultToJson(result));
     std::string line = row.dump(0);
     line += '\n';

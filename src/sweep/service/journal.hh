@@ -6,7 +6,11 @@
  *
  *   {"schema":"bvl-sweep-journal-v1","hash":"...","design":"...",
  *    "workload":"...","scale":"...","attempts":N,"source":"sim|cache",
- *    "result":{...}}
+ *    "wallMs":N.N,"result":{...}}
+ *
+ * "wallMs" is the host wall-clock time the recorded attempt(s) took
+ * (0.0 for cache/journal replays); parsers must tolerate its absence
+ * — rows written before it existed simply lack the field.
  *
  * Every append is written with a single write(2) and fsync'd before
  * the job's future resolves, so after a kill -9 at any point the
@@ -68,12 +72,13 @@ class SweepJournal
 
     /**
      * Durably record one completed job. @p source is "sim" for a
-     * fresh simulation or "cache" for a verified cache hit. The entry
-     * also becomes visible to subsequent lookup()s.
+     * fresh simulation or "cache" for a verified cache hit; @p wallMs
+     * is the host time the attempt(s) took (0.0 for replays). The
+     * entry also becomes visible to subsequent lookup()s.
      */
     void append(const std::string &hash, const SweepJob &job,
                 unsigned attempts, const char *source,
-                const RunResult &result);
+                const RunResult &result, double wallMs = 0.0);
 
   private:
     struct Entry

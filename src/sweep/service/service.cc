@@ -13,6 +13,7 @@
 #include "sim/env.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "soc/checkpoint_farm.hh"
 #include "soc/run_io.hh"
 #include "sweep/service/job_hash.hh"
 
@@ -372,6 +373,7 @@ SweepService::runJob(SweepJob job)
     SweepJob eff = effectiveJob(job, hash);
     RunResult r;
     unsigned attempt = priorAttempts;
+    auto simStart = std::chrono::steady_clock::now();
     for (;;) {
         nSimulated.fetch_add(1, std::memory_order_relaxed);
         r = runAttempt(eff, attempt);
@@ -409,8 +411,11 @@ SweepService::runJob(SweepJob job)
     }
 
     if (cacheable) {
-        if (journal.isOpen())
-            journal.append(hash, job, attempt, "sim", r);
+        if (journal.isOpen()) {
+            std::chrono::duration<double, std::milli> wall =
+                std::chrono::steady_clock::now() - simStart;
+            journal.append(hash, job, attempt, "sim", r, wall.count());
+        }
         if (r.ok() && cache.enabled())
             cache.store(hash, r);
     }
@@ -450,6 +455,10 @@ SweepService::summary() const
         s.quarantines = quarantine.size();
     }
     s.interrupted = stopRequested();
+    s.farmHits = CheckpointFarm::hits();
+    s.farmProduced = CheckpointFarm::produced();
+    s.farmCorrupt = CheckpointFarm::corrupt();
+    s.farmEvicted = CheckpointFarm::evicted();
     return s;
 }
 
@@ -457,18 +466,24 @@ std::string
 SweepService::summaryLine() const
 {
     Summary s = summary();
-    char buf[256];
+    char buf[384];
     std::snprintf(
         buf, sizeof(buf),
         "bvl-sweep-summary: submitted=%llu simulated=%llu "
         "journal_hits=%llu cache_hits=%llu cache_corrupt=%llu "
-        "retries=%llu quarantined=%llu failed=%llu interrupted=%d",
+        "retries=%llu quarantined=%llu failed=%llu interrupted=%d "
+        "farm_hits=%llu farm_produced=%llu farm_corrupt=%llu "
+        "farm_evicted=%llu",
         (unsigned long long)s.submitted, (unsigned long long)s.simulated,
         (unsigned long long)s.journalHits,
         (unsigned long long)s.cacheHits,
         (unsigned long long)s.cacheCorrupt,
         (unsigned long long)s.retries, (unsigned long long)s.quarantines,
-        (unsigned long long)s.failed, s.interrupted ? 1 : 0);
+        (unsigned long long)s.failed, s.interrupted ? 1 : 0,
+        (unsigned long long)s.farmHits,
+        (unsigned long long)s.farmProduced,
+        (unsigned long long)s.farmCorrupt,
+        (unsigned long long)s.farmEvicted);
     return buf;
 }
 

@@ -140,6 +140,15 @@ class SweepService
         std::uint64_t quarantines = 0;  ///< jobs that exhausted retries
         std::uint64_t failed = 0;       ///< jobs with a non-ok result
         bool interrupted = false;       ///< a stop was requested
+        /**
+         * Checkpoint-farm telemetry (CheckpointFarm's process-wide
+         * counters; thread-mode only — isolate-mode children count in
+         * their own processes and report via each cell's log instead).
+         */
+        std::uint64_t farmHits = 0;      ///< prefixes restored
+        std::uint64_t farmProduced = 0;  ///< prefixes fast-forwarded
+        std::uint64_t farmCorrupt = 0;   ///< entries quarantined
+        std::uint64_t farmEvicted = 0;   ///< entries evicted (budget)
     };
 
     Summary summary() const;

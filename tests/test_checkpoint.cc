@@ -17,6 +17,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -24,9 +25,11 @@
 #include <vector>
 
 #include "soc/checkpoint.hh"
+#include "soc/checkpoint_farm.hh"
 #include "soc/run_driver.hh"
 #include "soc/run_io.hh"
 #include "sweep/service/service.hh"
+#include "vector/engine_presets.hh"
 
 namespace bvl
 {
@@ -233,6 +236,236 @@ TEST(CheckpointTest, FastForwardPastHaltIsFatal)
     EXPECT_FALSE(std::filesystem::exists(dir + "/ck.bvl"));
 }
 
+// --- strict restore ----------------------------------------------------
+
+TEST(CheckpointTest, StrictRestoreSucceedsOrFailsLoudly)
+{
+    std::string dir = scratchDir("strict");
+    std::string ck = dir + "/ck.bvl";
+    RunResult saved = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  saveOpts(ck, 150));
+    ASSERT_TRUE(saved.ok()) << saved.message;
+
+    // A valid checkpoint restores under strict exactly like the
+    // tolerant path (strict forbids ffInsts, so none is set).
+    RunOptions strict;
+    strict.checkpoint.restorePath = ck;
+    strict.checkpoint.strict = true;
+    RunResult ok = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                               strict);
+    ASSERT_TRUE(ok.ok()) << ok.message;
+    EXPECT_EQ(dumpNoLog(ok), dumpNoLog(saved));
+
+    // A missing entry is a hard error — strict mode exists so CI can
+    // assert "this sweep ran zero fast-forwards".
+    RunOptions missing = strict;
+    missing.checkpoint.restorePath = dir + "/nope.bvl";
+    RunResult m = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                              missing);
+    EXPECT_EQ(m.status, RunStatus::sim_error);
+    EXPECT_NE(m.message.find("strict restore"), std::string::npos)
+        << m.message;
+
+    // So is a corrupt one: quarantine-and-resimulate is the tolerant
+    // path's business.
+    {
+        std::fstream f(ck, std::ios::in | std::ios::out |
+                               std::ios::binary);
+        f.seekg(-50, std::ios::end);
+        char b = 0;
+        f.get(b);
+        f.seekp(-50, std::ios::end);
+        f.put(static_cast<char>(b ^ 0xff));
+    }
+    RunResult c = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                              strict);
+    EXPECT_EQ(c.status, RunStatus::sim_error);
+    EXPECT_NE(c.message.find("strict restore"), std::string::npos)
+        << c.message;
+}
+
+// --- checkpoint-prefix farm (DESIGN.md §16) ----------------------------
+
+RunOptions
+farmOpts(const std::string &dir, std::uint64_t ff)
+{
+    RunOptions o;
+    o.checkpoint.farm = true;
+    o.checkpoint.farmDir = dir;
+    o.checkpoint.ffInsts = ff;
+    return o;
+}
+
+/** Published "*.bvl" entries under the farm directory. */
+std::vector<std::filesystem::path>
+farmEntries(const std::string &dir)
+{
+    std::vector<std::filesystem::path> out;
+    std::error_code ec;
+    for (auto it = std::filesystem::recursive_directory_iterator(
+             dir, ec);
+         !ec && it != std::filesystem::recursive_directory_iterator();
+         it.increment(ec)) {
+        if (it->is_regular_file() && it->path().extension() == ".bvl")
+            out.push_back(it->path());
+    }
+    return out;
+}
+
+TEST(CheckpointTest, FarmProducesOnceThenRestoresByteIdentical)
+{
+    std::string dir = scratchDir("farm");
+    RunOptions cold;
+    cold.checkpoint.ffInsts = 150;
+    RunResult base = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                 cold);
+    ASSERT_TRUE(base.ok()) << base.message;
+
+    std::uint64_t p0 = CheckpointFarm::produced();
+    std::uint64_t h0 = CheckpointFarm::hits();
+
+    RunResult first = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  farmOpts(dir, 150));
+    ASSERT_TRUE(first.ok()) << first.message;
+    EXPECT_NE(first.log.find("produced prefix"), std::string::npos)
+        << first.log;
+    ASSERT_EQ(farmEntries(dir).size(), 1u);
+
+    RunResult second = runWorkload(Design::d1b4VL, "saxpy",
+                                   Scale::tiny, farmOpts(dir, 150));
+    ASSERT_TRUE(second.ok()) << second.message;
+    EXPECT_NE(second.log.find("restored prefix"), std::string::npos)
+        << second.log;
+
+    EXPECT_EQ(CheckpointFarm::produced() - p0, 1u);
+    EXPECT_EQ(CheckpointFarm::hits() - h0, 1u);
+    EXPECT_EQ(farmEntries(dir).size(), 1u);
+
+    // The farm is a pure wall-clock optimization: both the producing
+    // and the restoring cell match the cold per-cell fast-forward
+    // exactly.
+    EXPECT_EQ(dumpNoLog(first), dumpNoLog(base));
+    EXPECT_EQ(dumpNoLog(second), dumpNoLog(base));
+}
+
+TEST(CheckpointTest, FarmSharesOnePrefixAcrossGeometries)
+{
+    // Two 1b-4VL cells with different VMU queue depths: the detailed
+    // windows differ, but the functional prefix (flavor, VLEN 512,
+    // inputs) is identical — one entry serves both.
+    std::string dir = scratchDir("farmgeo");
+    std::uint64_t p0 = CheckpointFarm::produced();
+    std::uint64_t h0 = CheckpointFarm::hits();
+
+    for (unsigned depth : {2u, 32u}) {
+        RunOptions cold;
+        cold.engineOverride = vlittlePreset();
+        cold.engineOverride->loadQueueLines = depth;
+        cold.checkpoint.ffInsts = 150;
+        RunResult base = runWorkload(Design::d1b4VL, "saxpy",
+                                     Scale::tiny, cold);
+        ASSERT_TRUE(base.ok()) << base.message;
+
+        RunOptions warm = cold;
+        warm.checkpoint.farm = true;
+        warm.checkpoint.farmDir = dir;
+        RunResult r = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  warm);
+        ASSERT_TRUE(r.ok()) << r.message;
+        EXPECT_EQ(dumpNoLog(r), dumpNoLog(base)) << "depth " << depth;
+    }
+
+    EXPECT_EQ(CheckpointFarm::produced() - p0, 1u);
+    EXPECT_EQ(CheckpointFarm::hits() - h0, 1u);
+    EXPECT_EQ(farmEntries(dir).size(), 1u);
+}
+
+TEST(CheckpointTest, FarmCorruptEntryIsQuarantinedAndReproduced)
+{
+    std::string dir = scratchDir("farmcorrupt");
+    RunResult first = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  farmOpts(dir, 150));
+    ASSERT_TRUE(first.ok()) << first.message;
+    auto entries = farmEntries(dir);
+    ASSERT_EQ(entries.size(), 1u);
+    std::string entry = entries[0].string();
+
+    // Flip one payload byte in the published entry.
+    {
+        std::fstream f(entry, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<std::streamoff>(f.tellg());
+        ASSERT_GT(size, 200);
+        f.seekg(size - 100);
+        char c = 0;
+        f.get(c);
+        f.seekp(size - 100);
+        f.put(static_cast<char>(c ^ 0xff));
+    }
+
+    std::uint64_t c0 = CheckpointFarm::corrupt();
+    RunResult second = runWorkload(Design::d1b4VL, "saxpy",
+                                   Scale::tiny, farmOpts(dir, 150));
+    ASSERT_TRUE(second.ok()) << second.message;
+    EXPECT_NE(second.log.find("quarantined"), std::string::npos)
+        << second.log;
+    EXPECT_EQ(CheckpointFarm::corrupt() - c0, 1u);
+    EXPECT_TRUE(std::filesystem::exists(entry + ".corrupt"));
+    // The prefix was re-produced, republished, and the result is
+    // unchanged — a corrupt entry costs time, never correctness.
+    EXPECT_TRUE(std::filesystem::exists(entry));
+    EXPECT_EQ(dumpNoLog(second), dumpNoLog(first));
+
+    // And the quarantined file never poisons a third run.
+    RunResult third = runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                                  farmOpts(dir, 150));
+    ASSERT_TRUE(third.ok()) << third.message;
+    EXPECT_NE(third.log.find("restored prefix"), std::string::npos);
+    EXPECT_EQ(dumpNoLog(third), dumpNoLog(first));
+}
+
+TEST(CheckpointTest, FarmEvictsOldestEntriesOverBudget)
+{
+    std::string dir = scratchDir("farmlru");
+    CheckpointFarm farm(dir);
+
+    // Three fake 1000-byte entries with strictly increasing mtimes.
+    auto plant = [&](const char *name, int ageSec) {
+        std::string path = dir + "/" + name;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path());
+        std::ofstream(path, std::ios::binary)
+            << std::string(1000, 'x');
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now() -
+                      std::chrono::seconds(ageSec));
+        return path;
+    };
+    std::string oldest = plant("aa/a.bvl", 300);
+    std::string middle = plant("bb/b.bvl", 200);
+    std::string newest = plant("cc/c.bvl", 100);
+
+    // Unlimited budget evicts nothing.
+    EXPECT_EQ(farm.evictOverBudget(0, newest), 0u);
+    EXPECT_EQ(farmEntries(dir).size(), 3u);
+
+    // 2000-byte budget: only the oldest entry goes.
+    std::uint64_t e0 = CheckpointFarm::evicted();
+    EXPECT_EQ(farm.evictOverBudget(2000, newest), 1u);
+    EXPECT_FALSE(std::filesystem::exists(oldest));
+    EXPECT_TRUE(std::filesystem::exists(middle));
+    EXPECT_TRUE(std::filesystem::exists(newest));
+    EXPECT_EQ(CheckpointFarm::evicted() - e0, 1u);
+
+    // The just-produced entry is never evicted, even when it is the
+    // only way to fit the budget.
+    EXPECT_EQ(farm.evictOverBudget(500, newest), 1u);
+    EXPECT_FALSE(std::filesystem::exists(middle));
+    EXPECT_TRUE(std::filesystem::exists(newest));
+}
+
 // --- invalid mode combinations -----------------------------------------
 
 TEST(CheckpointTest, InvalidCombinationsAreRejected)
@@ -260,6 +493,38 @@ TEST(CheckpointTest, InvalidCombinationsAreRejected)
               RunStatus::sim_error);
     EXPECT_EQ(runWorkload(Design::d1b4L, "saxpy", Scale::tiny, sam)
                   .status,
+              RunStatus::sim_error);
+
+    // Farm and strict combos (the CLI rejects these up front; the
+    // engine must too, for programmatic callers).
+    RunOptions farmPlusPath;
+    farmPlusPath.checkpoint.farm = true;
+    farmPlusPath.checkpoint.ffInsts = 100;
+    farmPlusPath.checkpoint.savePath = "/tmp/never-written.bvl";
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                          farmPlusPath).status,
+              RunStatus::sim_error);
+
+    RunOptions farmNoFf;
+    farmNoFf.checkpoint.farm = true;
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                          farmNoFf).status,
+              RunStatus::sim_error);
+
+    RunOptions strictAlone;
+    strictAlone.checkpoint.strict = true;
+    strictAlone.checkpoint.ffInsts = 100;
+    strictAlone.checkpoint.savePath = "/tmp/never-written.bvl";
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                          strictAlone).status,
+              RunStatus::sim_error);
+
+    RunOptions strictFf;
+    strictFf.checkpoint.strict = true;
+    strictFf.checkpoint.restorePath = "/tmp/never-read.bvl";
+    strictFf.checkpoint.ffInsts = 100;
+    EXPECT_EQ(runWorkload(Design::d1b4VL, "saxpy", Scale::tiny,
+                          strictFf).status,
               RunStatus::sim_error);
 }
 

@@ -9,9 +9,10 @@
  * mode.
  *
  * Naming keys the ctest label partition: SweepServiceConcurrencyTest
- * runs under ThreadSanitizer with the other concurrency suites, while
- * SweepServiceTest / SweepServiceIsolateTest stay in the unit label
- * (the isolate suite forks, which TSan cannot follow).
+ * and SweepServiceFarmConcurrencyTest run under ThreadSanitizer with
+ * the other concurrency suites, while SweepServiceTest /
+ * SweepServiceIsolateTest stay in the unit label (the isolate suite
+ * forks, which TSan cannot follow).
  */
 
 #include <gtest/gtest.h>
@@ -26,7 +27,9 @@
 #include <vector>
 
 #include "sim/check/forensics.hh"
+#include "soc/checkpoint_farm.hh"
 #include "soc/run_io.hh"
+#include "vector/engine_presets.hh"
 #include "sweep/service/digest.hh"
 #include "sweep/service/job_hash.hh"
 #include "sweep/service/journal.hh"
@@ -148,6 +151,18 @@ TEST(SweepServiceTest, JobHashTracksSamplingAndCheckpointDepthNotPaths)
     restorer.opts.checkpoint.restorePath = "/tmp/ck.bvl";
     EXPECT_EQ(jobHashHex(restorer), jobHashHex(deep));
     EXPECT_FALSE(jobCacheable(restorer));
+
+    // The farm and strict knobs only change HOW the prefix state is
+    // obtained (shared entry vs cold re-simulation), never the
+    // simulated result — a warm farm rerun must keep hitting the same
+    // journal rows as the cold sweep that wrote them.
+    SweepJob farmed = deep;
+    farmed.opts.checkpoint.farm = true;
+    farmed.opts.checkpoint.farmDir = "/tmp/farm";
+    EXPECT_EQ(jobHashHex(farmed), jobHashHex(deep));
+    SweepJob strict = restorer;
+    strict.opts.checkpoint.strict = true;
+    EXPECT_EQ(jobHashHex(strict), jobHashHex(restorer));
 }
 
 // --- exact serialization round-trip ------------------------------------
@@ -219,6 +234,9 @@ TEST(SweepServiceTest, RunOptionsEveryFieldRoundTripsExactly)
     opts.checkpoint.savePath = "/tmp/ck.bvl";
     opts.checkpoint.restorePath = "/tmp/ck2.bvl";
     opts.checkpoint.ffInsts = 12345;
+    opts.checkpoint.farm = true;
+    opts.checkpoint.farmDir = "/tmp/farm";
+    opts.checkpoint.strict = true;
 
     Json j = runOptionsToJson(opts);
     RunOptions back = runOptionsFromJson(Json::parse(j.dump(0)));
@@ -231,6 +249,9 @@ TEST(SweepServiceTest, RunOptionsEveryFieldRoundTripsExactly)
     EXPECT_EQ(back.checkpoint.savePath, "/tmp/ck.bvl");
     EXPECT_EQ(back.checkpoint.restorePath, "/tmp/ck2.bvl");
     EXPECT_EQ(back.checkpoint.ffInsts, 12345u);
+    EXPECT_TRUE(back.checkpoint.farm);
+    EXPECT_EQ(back.checkpoint.farmDir, "/tmp/farm");
+    EXPECT_TRUE(back.checkpoint.strict);
     EXPECT_FALSE(back.verifyResult);
     EXPECT_FALSE(back.watchdog);
     EXPECT_EQ(back.wallDeadlineSec, 9.25);
@@ -672,6 +693,79 @@ TEST(SweepServiceConcurrencyTest, RequestStopDrainsAndThrows)
     EXPECT_THROW(fut.get(), SweepInterrupted);
     EXPECT_TRUE(svc.summary().interrupted);
     SweepService::clearStop();
+}
+
+// --- checkpoint-prefix farm under the thread pool (TSan via the
+// --- concurrency label) ------------------------------------------------
+
+TEST(SweepServiceFarmConcurrencyTest, RacingCellsProduceOnePrefix)
+{
+    // Eight cells, one shared prefix, eight workers: every cell misses
+    // the farm at startup and races for the entry's flock. Exactly one
+    // may produce; the rest must block on the claim and restore what
+    // it published — and every result must match the cold per-cell
+    // fast-forward byte for byte.
+    std::string dir = scratchDir("farmrace");
+    const unsigned depths[] = {2, 3, 4, 6, 8, 12, 16, 32};
+    constexpr unsigned cells = 8;
+
+    auto cellJob = [&](unsigned depth) {
+        SweepJob job{Design::d1b4VL, "saxpy", Scale::tiny, {}};
+        job.opts.engineOverride = vlittlePreset();
+        job.opts.engineOverride->loadQueueLines = depth;
+        job.opts.checkpoint.ffInsts = 150;
+        return job;
+    };
+
+    std::vector<std::string> cold;
+    for (unsigned d : depths) {
+        SweepJob job = cellJob(d);
+        RunResult r = runWorkload(job.design, job.workload, job.scale,
+                                  job.opts);
+        ASSERT_TRUE(r.ok()) << r.message;
+        r.log.clear();
+        cold.push_back(runResultToJson(r).dump(0));
+    }
+
+    std::uint64_t p0 = CheckpointFarm::produced();
+    std::uint64_t h0 = CheckpointFarm::hits();
+
+    SweepServiceOptions o;
+    o.jobs = cells;
+    SweepService svc(o);
+    std::vector<std::future<RunResult>> futs;
+    for (unsigned d : depths) {
+        SweepJob job = cellJob(d);
+        job.opts.checkpoint.farm = true;
+        job.opts.checkpoint.farmDir = dir;
+        futs.push_back(svc.submit(job));
+    }
+    for (unsigned i = 0; i < futs.size(); ++i) {
+        RunResult r = futs[i].get();
+        EXPECT_TRUE(r.ok()) << r.message;
+        r.log.clear();
+        EXPECT_EQ(runResultToJson(r).dump(0), cold[i])
+            << "queue depth " << depths[i];
+    }
+
+    // Single-flight: one producer, everyone else a hit, one entry.
+    EXPECT_EQ(CheckpointFarm::produced() - p0, 1u);
+    EXPECT_EQ(CheckpointFarm::hits() - h0, cells - 1);
+    unsigned entries = 0;
+    std::error_code ec;
+    for (auto it = std::filesystem::recursive_directory_iterator(
+             dir, ec);
+         !ec && it != std::filesystem::recursive_directory_iterator();
+         it.increment(ec)) {
+        if (it->is_regular_file() && it->path().extension() == ".bvl")
+            ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+
+    // The farm counters surface in the sweep summary line.
+    std::string line = svc.summaryLine();
+    EXPECT_NE(line.find("farm_hits="), std::string::npos) << line;
+    EXPECT_NE(line.find("farm_produced="), std::string::npos) << line;
 }
 
 // --- subprocess isolation (forks; stays out of the TSan label) ---------
