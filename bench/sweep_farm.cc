@@ -14,10 +14,10 @@
  */
 
 #include <filesystem>
-#include <fstream>
 
 #include "bench/bench_util.hh"
 #include "isa/arch_state.hh"
+#include "sim/io/sim_io.hh"
 #include "soc/checkpoint_farm.hh"
 #include "sweep/service/job_hash.hh"
 #include "vector/engine_presets.hh"
@@ -71,23 +71,29 @@ dynamicInsts(const std::string &name, Scale scale, unsigned vlenBits)
                    "-" + scaleName(scale) + "-v" +
                    std::to_string(vlenBits) + "-" + kLibraryRevision +
                    ".txt";
-        std::ifstream in(memoPath);
-        std::uint64_t cached = 0;
-        if (in >> cached && cached > 0)
-            return cached;
+        std::string text;
+        if (io::readFile("farm_memo.read", memoPath, &text)) {
+            // Trust the memo only when it is one complete
+            // newline-terminated number: a torn publish leaves a
+            // digit *prefix*, which would parse fine and silently
+            // fast-forward the wrong number of instructions. An
+            // invalid memo is simply re-measured and re-published.
+            char *end = nullptr;
+            std::uint64_t cached = std::strtoull(text.c_str(), &end,
+                                                 10);
+            if (cached > 0 && end && end != text.c_str() &&
+                end[0] == '\n' && end[1] == '\0')
+                return cached;
+        }
     }
     std::uint64_t n = measureDynamicInsts(name, scale, vlenBits);
     if (!memoPath.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(
-            std::filesystem::path(memoPath).parent_path(), ec);
-        std::string tmp = memoPath + ".tmp." +
-                          std::to_string(::getpid());
-        std::ofstream out(tmp);
-        out << n << '\n';
-        out.close();
-        if (out)
-            std::filesystem::rename(tmp, memoPath, ec);
+        // Best effort: the memo is a pure accelerator, so a failed
+        // publish just means the next cold sweep re-measures.
+        auto parent = std::filesystem::path(memoPath).parent_path();
+        if (io::mkdirs("farm_memo.mkdir", parent.string()))
+            io::writeFileAtomic("farm_memo.store", memoPath,
+                                std::to_string(n) + "\n");
     }
     return n;
 }

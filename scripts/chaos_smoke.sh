@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# I/O chaos smoke (DESIGN.md §17), shared by scripts/ci.sh and the
+# GitHub Actions workflow. Drives the unmodified bench/sweep_farm grid
+# (journal + result cache + checkpoint farm + farm memo all armed)
+# through the BVL_IO_FAULT seam and asserts the whole persistence
+# stack degrades instead of corrupting:
+#
+#   1. reference run with BVL_IO_SITE_TRACE -> every injection site the
+#      sweep reaches is enumerated; >= 25 distinct labels spanning the
+#      journal, result cache, checkpoint store, claim/lock machinery
+#      and the farm memo are required.
+#   2. failure leg: every site label gets one seeded-random eligible
+#      fault (ENOSPC / EIO / short write / torn rename / stale lock).
+#      The run must exit 0 with stdout byte-identical to the reference
+#      (degraded runs may differ only in stderr warnings and summary
+#      counters) and leave no "*.tmp.*" litter.
+#   3. crash leg: every site label gets an exit-mode crash (the
+#      process _exit()s mid-operation, exactly like kill -9 at that
+#      syscall). The run must die with the dedicated exit code 86; a
+#      clean rerun over the same directories must then produce stdout
+#      byte-identical to the reference and sweep up all temp litter.
+#   4. seeded probabilistic soak: every site rolls at BVL_IO_FAULT_PROB
+#      with a printed seed, as a randomized sanity pass over fault
+#      combinations the per-site legs don't enumerate.
+#
+# The per-label fault kinds and the optional site subset are drawn
+# from a seeded shuffle: BVL_CHAOS_SEED (default: date +%s, echoed for
+# reproduction), BVL_CHAOS_SITES=N limits the legs to N seeded-random
+# sites (0 = all, the default).
+#
+# Usage: scripts/chaos_smoke.sh [build-dir] [scratch-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+scratch="${2:-$build/chaos-smoke}"
+bin="$build/bench/sweep_farm"
+[ -x "$bin" ] || { echo "FAIL: $bin not built" >&2; exit 1; }
+
+seed="${BVL_CHAOS_SEED:-$(date +%s)}"
+sites="${BVL_CHAOS_SITES:-0}"
+echo "chaos seed: $seed (rerun with BVL_CHAOS_SEED=$seed to reproduce)"
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+
+# BVL_JOBS=1 keeps the seam's site sequence (and stdout) a pure
+# function of the work performed.
+benv=(env BVL_SCALE=tiny BVL_JOBS=1 BVL_CKPT_FARM=1
+      BVL_CKPT_DIR="$scratch/farm" BVL_SWEEP_DIR="$scratch/sweep"
+      BVL_CACHE_DIR="$scratch/cache")
+
+fresh_dirs() {
+    rm -rf "$scratch/farm" "$scratch/sweep" "$scratch/cache"
+}
+
+no_litter() {
+    local leftovers
+    leftovers=$(find "$scratch" -name '*.tmp.*' 2>/dev/null || true)
+    if [ -n "$leftovers" ]; then
+        echo "FAIL: temp litter after $1:" >&2
+        echo "$leftovers" >&2
+        exit 1
+    fi
+}
+
+echo "--- reference run: enumerate every injection site"
+fresh_dirs
+"${benv[@]}" BVL_IO_SITE_TRACE="$scratch/sites.tsv" \
+    "$bin" > "$scratch/ref.out" 2> "$scratch/ref.err"
+no_litter "reference run"
+grep -q 'verified' "$scratch/ref.out" \
+    || { echo "FAIL: reference run produced no results" >&2; exit 1; }
+
+# Distinct labels (first-reached order) with a seeded-random eligible
+# fault kind each, optionally cut to a seeded subset of sites.
+python3 - "$scratch/sites.tsv" "$seed" "$sites" \
+    > "$scratch/specs.txt" <<'EOF'
+import random
+import sys
+
+seen = {}
+for line in open(sys.argv[1]):
+    f = line.rstrip("\n").split("\t")
+    if len(f) >= 3 and f[1] not in seen:
+        seen[f[1]] = f[2]
+
+required = ["journal.", "result_cache.", "ckpt_farm.", "checkpoint.",
+            "farm_memo."]
+missing = [c for c in required
+           if not any(l.startswith(c) for l in seen)]
+if missing or len(seen) < 25:
+    sys.stderr.write(
+        f"FAIL: site enumeration too thin: {len(seen)} labels, "
+        f"missing components {missing}\n")
+    sys.exit(1)
+
+kinds = {"write": ["enospc", "short", "eio"],
+         "fsync": ["enospc", "eio"],
+         "mkdir": ["enospc", "eio"],
+         "rename": ["torn", "eio"],
+         "flock": ["stale_lock", "eio"]}
+rng = random.Random(int(sys.argv[2]))
+labels = list(seen)
+rng.shuffle(labels)
+subset = int(sys.argv[3])
+if subset > 0:
+    labels = labels[:subset]
+for label in labels:
+    print(f"{rng.choice(kinds.get(seen[label], ['eio']))}@{label}")
+EOF
+nspecs=$(wc -l < "$scratch/specs.txt")
+echo "injecting at $nspecs of $(cut -f2 "$scratch/sites.tsv" \
+    | sort -u | wc -l) enumerated sites"
+
+echo "--- failure leg: one fault per site, stdout must not move"
+while read -r spec; do
+    fresh_dirs
+    if ! "${benv[@]}" BVL_IO_FAULT="$spec" \
+            "$bin" > "$scratch/fault.out" 2> "$scratch/fault.err"; then
+        echo "FAIL: $spec made the sweep fail (see $scratch/fault.err)" >&2
+        exit 1
+    fi
+    cmp "$scratch/ref.out" "$scratch/fault.out" \
+        || { echo "FAIL: $spec changed sweep stdout" >&2; exit 1; }
+    no_litter "$spec"
+done < "$scratch/specs.txt"
+
+echo "--- crash leg: _exit at each site, then recover on the same dirs"
+while read -r spec; do
+    label="${spec#*@}"
+    fresh_dirs
+    set +e
+    "${benv[@]}" BVL_IO_FAULT="crash@$label" \
+        "$bin" > "$scratch/crash.out" 2> "$scratch/crash.err"
+    rc=$?
+    set -e
+    if [ "$rc" -ne 86 ]; then
+        echo "FAIL: crash@$label exited $rc, expected 86" >&2
+        cat "$scratch/crash.err" >&2
+        exit 1
+    fi
+    "${benv[@]}" "$bin" > "$scratch/recover.out" 2> "$scratch/recover.err"
+    cmp "$scratch/ref.out" "$scratch/recover.out" \
+        || { echo "FAIL: recovery after crash@$label diverged" >&2
+             exit 1; }
+    no_litter "crash@$label + recovery"
+done < "$scratch/specs.txt"
+
+echo "--- seeded probabilistic soak (prob=0.02, seed=$seed)"
+fresh_dirs
+set +e
+"${benv[@]}" BVL_IO_FAULT_PROB=0.02 BVL_IO_FAULT_SEED="$seed" \
+    "$bin" > "$scratch/soak.out" 2> "$scratch/soak.err"
+rc=$?
+set -e
+if [ "$rc" -eq 0 ]; then
+    cmp "$scratch/ref.out" "$scratch/soak.out" \
+        || { echo "FAIL: soak run changed sweep stdout" >&2; exit 1; }
+elif [ "$rc" -ne 86 ]; then
+    echo "FAIL: soak run exited $rc (expected 0 or crash code 86)" >&2
+    cat "$scratch/soak.err" >&2
+    exit 1
+fi
+# Whatever the soak left behind, a clean rerun must recover it.
+"${benv[@]}" "$bin" > "$scratch/soak_recover.out" 2> /dev/null
+cmp "$scratch/ref.out" "$scratch/soak_recover.out"
+no_litter "probabilistic soak + recovery"
+
+echo "chaos_smoke.sh: all $nspecs fault + crash sites recovered cleanly"

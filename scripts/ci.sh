@@ -10,8 +10,11 @@
 # checkpoint save/restore determinism, corrupt-checkpoint quarantine,
 # sampled-run determinism and the checkpoint-prefix farm (cold
 # populate, warm zero-fast-forward rerun, corrupt-entry re-production,
-# isolate-mode flock race; scripts/checkpoint_smoke.sh), gate the
-# sweep journal a live sweep just wrote (scripts/check_bench.py
+# isolate-mode flock race; scripts/checkpoint_smoke.sh), smoke I/O
+# fault injection across the persistence stack (per-site faults,
+# mid-operation crashes and a seeded probabilistic soak must never
+# move sweep stdout or leave temp litter; scripts/chaos_smoke.sh),
+# gate the sweep journal a live sweep just wrote (scripts/check_bench.py
 # --journal), gate the sampled-simulation cycle-error bound against
 # full detail (fig04_sampled + scripts/check_bench.py --sampled), and
 # gate the kernel microbenchmarks against the pinned baseline
@@ -88,6 +91,9 @@ scripts/sweep_smoke.sh build build/sweep-smoke
 
 echo "=== checkpoint save/restore + sampled determinism smoke ==="
 scripts/checkpoint_smoke.sh build build/ckpt-smoke
+
+echo "=== I/O chaos smoke (fault injection across the persistence stack) ==="
+scripts/chaos_smoke.sh build build/chaos-smoke
 
 echo "=== sampled-accuracy gate (fig04 sampled vs full detail) ==="
 # Cycle error is machine-independent, so the 3% bound holds on any

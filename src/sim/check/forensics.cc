@@ -1,8 +1,6 @@
 #include "sim/check/forensics.hh"
 
-#include <fstream>
-#include <sstream>
-
+#include "sim/io/sim_io.hh"
 #include "sim/logging.hh"
 #include "soc/run_io.hh"
 
@@ -178,17 +176,16 @@ bool
 writeFailureReport(const std::string &path, const RunResult &r,
                    const ReplayRecipe &recipe)
 {
-    std::ofstream out(path);
-    if (!out) {
-        warn("forensics: cannot write failure report to %s",
-             path.c_str());
-        return false;
-    }
-    out << buildFailureReport(r, recipe).dump(2) << "\n";
-    out.flush();
-    if (!out) {
-        warn("forensics: short write of failure report %s",
-             path.c_str());
+    // A report that cannot be written costs a warning, never the
+    // run's own status — the failure being reported is the news, not
+    // the reporting. Atomic publish so a torn report is never
+    // mistaken for a complete one.
+    std::string text = buildFailureReport(r, recipe).dump(2);
+    text += '\n';
+    std::string err;
+    if (!io::writeFileAtomic("forensics.report", path, text, &err)) {
+        warn("forensics: short write of failure report %s (%s)",
+             path.c_str(), err.c_str());
         return false;
     }
     return true;
@@ -197,12 +194,13 @@ writeFailureReport(const std::string &path, const RunResult &r,
 ReplayRecipe
 loadReplayRecipe(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("forensics: cannot read %s", path.c_str());
-    std::ostringstream text;
-    text << in.rdbuf();
-    Json doc = Json::parse(text.str());
+    std::string text;
+    std::string err;
+    if (!io::readFile("forensics.recipe.read", path, &text, nullptr,
+                      &err))
+        fatal("forensics: cannot read %s: %s", path.c_str(),
+              err.c_str());
+    Json doc = Json::parse(text);
     // Accept a full failure report or a bare recipe document.
     const Json &recipe = doc.has("replay") ? doc["replay"] : doc;
     return replayRecipeFromJson(recipe);

@@ -1,0 +1,520 @@
+#include "sim/io/sim_io.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <thread>
+
+namespace bvl
+{
+namespace io
+{
+
+namespace
+{
+
+void
+setErr(std::string *err, const char *what, const std::string &path,
+       int errnum)
+{
+    if (!err)
+        return;
+    *err = std::string(what) + " " + path + ": " +
+           std::strerror(errnum);
+}
+
+void
+setErrInjected(std::string *err, const char *what,
+               const std::string &path, IoFaultKind kind, int errnum)
+{
+    if (!err)
+        return;
+    *err = std::string(what) + " " + path + ": " +
+           std::strerror(errnum) + " [injected " +
+           ioFaultKindName(kind) + "]";
+}
+
+int
+errnoFor(IoFaultKind kind)
+{
+    switch (kind) {
+      case IoFaultKind::fail_enospc:
+      case IoFaultKind::short_write:
+        return ENOSPC;
+      default:
+        return EIO;
+    }
+}
+
+/** Loop ::write(2) over the buffer, retrying EINTR. */
+bool
+rawWriteAll(int fd, const void *data, std::size_t len, int *errnum)
+{
+    const char *p = static_cast<const char *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, p + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            *errnum = errno;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** "<final>.tmp.<pid>.<tid16>" — unique per writer thread. */
+std::string
+tempPathFor(const std::string &finalPath)
+{
+    static thread_local unsigned long long tidTag = []() {
+        return std::hash<std::thread::id>{}(
+            std::this_thread::get_id());
+    }();
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llx",
+                  (long)::getpid(), tidTag);
+    return finalPath + suffix;
+}
+
+/**
+ * Parse the owner pid out of "name.tmp.<pid>[.<tid>]". Returns -1
+ * when the name does not carry one.
+ */
+long
+tempOwnerPid(const std::string &filename)
+{
+    std::size_t pos = filename.find(".tmp.");
+    if (pos == std::string::npos)
+        return -1;
+    const char *digits = filename.c_str() + pos + 5;
+    if (*digits < '0' || *digits > '9')
+        return -1;
+    char *end = nullptr;
+    long pid = std::strtol(digits, &end, 10);
+    if (end == digits || pid <= 0)
+        return -1;
+    return pid;
+}
+
+bool
+pidAlive(long pid)
+{
+    return ::kill((pid_t)pid, 0) == 0 || errno != ESRCH;
+}
+
+bool
+isStaleTemp(const std::filesystem::path &p, bool selfStale)
+{
+    long owner = tempOwnerPid(p.filename().string());
+    if (owner > 0) {
+        if (owner == (long)::getpid())
+            return selfStale;
+        return !pidAlive(owner);
+    }
+    // Legacy/foreign temp with no embedded pid: only age can tell.
+    struct stat st;
+    if (::stat(p.c_str(), &st) != 0)
+        return false;
+    return std::time(nullptr) - st.st_mtime > 3600;
+}
+
+} // namespace
+
+bool
+mkdirs(const char *site, const std::string &dir, std::string *err)
+{
+    if (auto fault = ioSiteCheck(site, IoOp::mkdir, dir)) {
+        setErrInjected(err, "mkdir", dir, *fault, errnoFor(*fault));
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec && !std::filesystem::is_directory(dir)) {
+        setErr(err, "mkdir", dir, ec.value() ? ec.value() : EIO);
+        return false;
+    }
+    return true;
+}
+
+bool
+unlinkFile(const char *site, const std::string &path, std::string *err)
+{
+    if (auto fault = ioSiteCheck(site, IoOp::unlink, path)) {
+        setErrInjected(err, "unlink", path, *fault, errnoFor(*fault));
+        return false;
+    }
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+        setErr(err, "unlink", path, errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+renameFile(const char *site, const std::string &from,
+           const std::string &to, std::string *err)
+{
+    if (auto fault = ioSiteCheck(site, IoOp::rename, from)) {
+        if (*fault == IoFaultKind::torn_rename) {
+            // Simulate a non-atomic publish dying mid-copy: the
+            // destination exists but truncated, the source is gone.
+            std::string data;
+            std::FILE *in = std::fopen(from.c_str(), "rb");
+            if (in) {
+                char buf[4096];
+                std::size_t n = std::fread(buf, 1, sizeof(buf), in);
+                std::fclose(in);
+                data.assign(buf, n / 2);
+            }
+            std::FILE *out = std::fopen(to.c_str(), "wb");
+            if (out) {
+                std::fwrite(data.data(), 1, data.size(), out);
+                std::fclose(out);
+            }
+            ::unlink(from.c_str());
+        }
+        setErrInjected(err, "rename", from + " -> " + to, *fault,
+                       errnoFor(*fault));
+        return false;
+    }
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+        setErr(err, "rename", from + " -> " + to, errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const char *site, const std::string &path, std::string *out,
+         bool *missing, std::string *err)
+{
+    if (missing)
+        *missing = false;
+    if (auto fault = ioSiteCheck(site, IoOp::read, path)) {
+        setErrInjected(err, "read", path, *fault, errnoFor(*fault));
+        return false;
+    }
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (errno == ENOENT) {
+            if (missing)
+                *missing = true;
+            setErr(err, "read", path, ENOENT);
+            return false;
+        }
+        setErr(err, "read", path, errno);
+        return false;
+    }
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setErr(err, "read", path, errno);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+SimFile::~SimFile()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+SimFile::openHow(const char *site, const std::string &path, int flags,
+                 std::string *err)
+{
+    bvl_assert(fd < 0, "SimFile opened twice");
+    _path = path;
+    if (auto fault = ioSiteCheck(site, IoOp::open, path)) {
+        setErrInjected(err, "open", path, *fault, errnoFor(*fault));
+        return false;
+    }
+    fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+        setErr(err, "open", path, errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+SimFile::createTrunc(const char *site, const std::string &path,
+                     std::string *err)
+{
+    return openHow(site, path, O_WRONLY | O_CREAT | O_TRUNC, err);
+}
+
+bool
+SimFile::openAppend(const char *site, const std::string &path,
+                    std::string *err)
+{
+    return openHow(site, path, O_WRONLY | O_CREAT | O_APPEND, err);
+}
+
+bool
+SimFile::writeAll(const char *site, const void *data, std::size_t len,
+                  std::string *err)
+{
+    bvl_assert(fd >= 0, "writeAll on closed SimFile");
+    if (auto fault = ioSiteCheck(site, IoOp::write, _path)) {
+        if (*fault == IoFaultKind::short_write && len > 1) {
+            // Land a prefix, then "the disk fills": the torn state
+            // callers must be able to detect or tolerate.
+            int ignored;
+            rawWriteAll(fd, data, len / 2, &ignored);
+        }
+        setErrInjected(err, "write", _path, *fault, errnoFor(*fault));
+        return false;
+    }
+    int errnum = 0;
+    if (!rawWriteAll(fd, data, len, &errnum)) {
+        setErr(err, "write", _path, errnum);
+        return false;
+    }
+    return true;
+}
+
+bool
+SimFile::sync(const char *site, std::string *err)
+{
+    bvl_assert(fd >= 0, "sync on closed SimFile");
+    if (auto fault = ioSiteCheck(site, IoOp::fsync, _path)) {
+        setErrInjected(err, "fsync", _path, *fault, errnoFor(*fault));
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        setErr(err, "fsync", _path, errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+SimFile::close(std::string *err)
+{
+    if (fd < 0)
+        return true;
+    int rc = ::close(fd);
+    fd = -1;
+    if (rc != 0) {
+        setErr(err, "close", _path, errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFileAtomic(const char *site, const std::string &path,
+                const std::string &data, std::string *err)
+{
+    std::string stage(site);
+    std::string temp = tempPathFor(path);
+    SimFile f;
+    // The temp must not outlive a failure — including an injected
+    // crash unwinding in throw mode, which models "process died but
+    // the harness keeps running"; exit-mode crashes genuinely leave
+    // the temp, and the startup sweep owns that case.
+    struct TempGuard
+    {
+        const std::string &p;
+        bool armed = true;
+        ~TempGuard()
+        {
+            if (armed)
+                ::unlink(p.c_str());
+        }
+    } guard{temp};
+
+    if (!f.createTrunc((stage + ".open").c_str(), temp, err))
+        return false;
+    if (!f.writeAll((stage + ".write").c_str(), data.data(),
+                    data.size(), err))
+        return false;
+    if (!f.sync((stage + ".fsync").c_str(), err))
+        return false;
+    if (!f.close(err))
+        return false;
+    if (!renameFile((stage + ".rename").c_str(), temp, path, err))
+        return false;
+    guard.armed = false;
+    return true;
+}
+
+int
+lockExclusive(const char *site, const std::string &lockPath,
+              long long timeoutMs, std::string *diag)
+{
+    if (timeoutMs <= 0)
+        timeoutMs = 3600LL * 1000;
+
+    long long staleMs = 0;
+    if (auto fault = ioSiteCheck(site, IoOp::flock, lockPath)) {
+        if (*fault == IoFaultKind::stale_lock) {
+            // Contend for the whole (capped) deadline, then time out
+            // exactly as a wedged peer holding the flock would cause.
+            staleMs = timeoutMs < 200 ? timeoutMs : 200;
+        } else {
+            if (diag)
+                *diag = "flock " + lockPath + ": " +
+                        std::strerror(errnoFor(*fault)) +
+                        " [injected " + ioFaultKindName(*fault) + "]";
+            return -1;
+        }
+    }
+
+    int fd = ::open(lockPath.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+        if (diag)
+            *diag = "flock: cannot open " + lockPath + ": " +
+                    std::strerror(errno);
+        return -1;
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(
+                        staleMs ? staleMs : timeoutMs);
+    for (;;) {
+        if (!staleMs && ::flock(fd, LOCK_EX | LOCK_NB) == 0)
+            break;
+        if (!staleMs && errno != EWOULDBLOCK && errno != EINTR) {
+            if (diag)
+                *diag = "flock " + lockPath + ": " +
+                        std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            // Read the holder's pid back out for the diagnostic; a
+            // peer that died *with* the flock held releases it (the
+            // kernel drops flocks at close), so a timeout means a
+            // live-but-stuck holder, not a stale file.
+            char buf[32] = {0};
+            ssize_t n = ::pread(fd, buf, sizeof(buf) - 1, 0);
+            ::close(fd);
+            if (diag) {
+                *diag = "flock " + lockPath + ": timed out after " +
+                        std::to_string(staleMs ? staleMs : timeoutMs) +
+                        " ms (holder pid " +
+                        (n > 0 ? std::string(buf, strcspn(buf, "\n"))
+                               : std::string("unknown")) +
+                        ")";
+                if (staleMs)
+                    *diag += " [injected stale_lock]";
+            }
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    // Record our pid for the next victim's diagnostic.
+    char buf[32];
+    int n = std::snprintf(buf, sizeof(buf), "%ld\n", (long)::getpid());
+    if (n > 0) {
+        if (::ftruncate(fd, 0) == 0) {
+            ssize_t ignored = ::pwrite(fd, buf, (std::size_t)n, 0);
+            (void)ignored;
+        }
+    }
+    return fd;
+}
+
+void
+unlockAndClose(int fd)
+{
+    if (fd < 0)
+        return;
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+}
+
+unsigned
+sweepStaleTemps(const char *site, const std::string &dir,
+                bool selfStale)
+{
+    if (auto fault = ioSiteCheck(site, IoOp::unlink, dir)) {
+        (void)fault; // sweep is best-effort; an injected failure
+        return 0;    // just means nothing gets cleaned this time
+    }
+    std::error_code ec;
+    std::filesystem::recursive_directory_iterator it(
+        dir,
+        std::filesystem::directory_options::skip_permission_denied,
+        ec);
+    if (ec)
+        return 0;
+    unsigned removed = 0;
+    for (auto end = std::filesystem::end(it); it != end;
+         it.increment(ec)) {
+        if (ec)
+            break;
+        if (!it->is_regular_file(ec))
+            continue;
+        const auto &p = it->path();
+        if (p.filename().string().find(".tmp.") == std::string::npos)
+            continue;
+        if (!isStaleTemp(p, selfStale))
+            continue;
+        if (::unlink(p.c_str()) == 0)
+            ++removed;
+    }
+    if (removed)
+        ioNoteTempsCleaned(removed);
+    return removed;
+}
+
+unsigned
+sweepTempsFor(const char *site, const std::string &finalPath)
+{
+    if (auto fault = ioSiteCheck(site, IoOp::unlink, finalPath)) {
+        (void)fault;
+        return 0;
+    }
+    auto final_ = std::filesystem::path(finalPath);
+    auto dir = final_.parent_path();
+    std::string prefix = final_.filename().string() + ".tmp.";
+    std::error_code ec;
+    std::filesystem::directory_iterator it(
+        dir.empty() ? "." : dir, ec);
+    if (ec)
+        return 0;
+    unsigned removed = 0;
+    for (auto end = std::filesystem::end(it); it != end;
+         it.increment(ec)) {
+        if (ec)
+            break;
+        std::string name = it->path().filename().string();
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        if (::unlink(it->path().c_str()) == 0)
+            ++removed;
+    }
+    if (removed)
+        ioNoteTempsCleaned(removed);
+    return removed;
+}
+
+} // namespace io
+} // namespace bvl

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The I/O seam: every filesystem operation the persistence stack
+ * performs (journal, result cache, checkpoint store, checkpoint farm,
+ * forensics reports, trace writers) goes through these wrappers, each
+ * call naming a stable injection-site label (see io_fault.hh).
+ *
+ * Design rules:
+ *
+ *  - Failure is a return value, not an exception. Persistence is a
+ *    best-effort accelerator around a correct simulator; callers
+ *    decide per component whether a failed write means "degrade and
+ *    carry on" or "refuse to trust this artifact". The one exception
+ *    is IoCrashError from an injected crash point, which must unwind
+ *    (or _exit) like real process death.
+ *
+ *  - One logical operation = one site. writeAll() is a single site
+ *    even though it may loop ::write(2); writeFileAtomic() exposes its
+ *    constituent open/write/fsync/rename steps as "<site>.open" etc.
+ *    so a plan can hit any stage of a publish.
+ *
+ *  - Temp files are self-describing: "<final>.tmp.<pid>[.<tid>]".
+ *    sweepStaleTemps() can therefore tell a live writer's temp (owner
+ *    pid alive) from an orphan (owner dead) without any lock.
+ */
+
+#ifndef BVL_SIM_IO_SIM_IO_HH
+#define BVL_SIM_IO_SIM_IO_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sim/io/io_fault.hh"
+
+namespace bvl
+{
+namespace io
+{
+
+/**
+ * mkdir -p. Returns false (message in @p err) on failure; an already
+ * existing directory is success.
+ */
+bool mkdirs(const char *site, const std::string &dir,
+            std::string *err = nullptr);
+
+/** unlink(2); absent file counts as success. */
+bool unlinkFile(const char *site, const std::string &path,
+                std::string *err = nullptr);
+
+/**
+ * rename(2). Under torn_rename injection the destination materializes
+ * holding a truncated prefix of the source (and the source is gone) —
+ * exactly what a non-atomic publish interrupted mid-copy leaves — and
+ * the call reports failure.
+ */
+bool renameFile(const char *site, const std::string &from,
+                const std::string &to, std::string *err = nullptr);
+
+/**
+ * Slurp a whole file. Distinguishes "not there" (@p missing set, when
+ * non-null) from "there but unreadable" so callers can treat the
+ * former as a clean miss and the latter as a corrupt artifact.
+ */
+bool readFile(const char *site, const std::string &path,
+              std::string *out, bool *missing = nullptr,
+              std::string *err = nullptr);
+
+/**
+ * A writable fd under the seam: explicit open/write/sync/close so
+ * long-lived writers (journal, trace stream) can interleave seam
+ * calls with their own buffering. Close errors are reported; the
+ * destructor close is best-effort.
+ */
+class SimFile
+{
+  public:
+    SimFile() = default;
+    ~SimFile();
+
+    SimFile(const SimFile &) = delete;
+    SimFile &operator=(const SimFile &) = delete;
+
+    /** O_WRONLY|O_CREAT|O_TRUNC. */
+    bool createTrunc(const char *site, const std::string &path,
+                     std::string *err = nullptr);
+    /** O_WRONLY|O_CREAT|O_APPEND. */
+    bool openAppend(const char *site, const std::string &path,
+                    std::string *err = nullptr);
+
+    /**
+     * Write all of @p data (looping ::write internally; EINTR is
+     * retried). One injection site. Under short_write injection a
+     * prefix of @p data lands before the failure — the torn state a
+     * full disk leaves.
+     */
+    bool writeAll(const char *site, const void *data, std::size_t len,
+                  std::string *err = nullptr);
+
+    /** fsync(2). */
+    bool sync(const char *site, std::string *err = nullptr);
+
+    bool close(std::string *err = nullptr);
+
+    bool isOpen() const { return fd >= 0; }
+    const std::string &path() const { return _path; }
+
+  private:
+    bool openHow(const char *site, const std::string &path, int flags,
+                 std::string *err);
+
+    int fd = -1;
+    std::string _path;
+};
+
+/**
+ * Publish @p data at @p path durably and atomically: write to
+ * "<path>.tmp.<pid>.<tid>", fsync, rename over @p path. Sub-sites
+ * "<site>.open", "<site>.write", "<site>.fsync", "<site>.rename".
+ * On any failure the temp is unlinked (best-effort, even when the
+ * failure is an injected crash unwinding in throw mode) and false is
+ * returned with a one-line @p err.
+ */
+bool writeFileAtomic(const char *site, const std::string &path,
+                     const std::string &data,
+                     std::string *err = nullptr);
+
+/**
+ * Acquire an exclusive flock on @p lockPath (creating it as needed),
+ * polling with LOCK_NB until @p timeoutMs elapses (<= 0 waits
+ * "forever": ~1 hour, still bounded — an unbounded wait under a dead
+ * peer's lock is exactly the hang this exists to kill). On success
+ * returns the fd (callers hold it for the critical section and
+ * release with unlockAndClose()) and records our pid in the lock file
+ * for diagnosis. On timeout/failure returns -1 and @p diag names the
+ * lock path and the holder pid read back from the file.
+ *
+ * stale_lock injection makes the lock look held for the whole
+ * deadline without any real contention.
+ */
+int lockExclusive(const char *site, const std::string &lockPath,
+                  long long timeoutMs, std::string *diag = nullptr);
+
+void unlockAndClose(int fd);
+
+/**
+ * Recursively remove orphaned "*.tmp.<pid>..." files under @p dir: a
+ * temp is stale when its embedded owner pid is no longer alive, when
+ * it is *our* pid (@p selfStale — nothing of ours can be mid-publish
+ * at a startup sweep), or when the pid is unparsable and the file is
+ * over an hour old. Returns the number removed, which is also added
+ * to the process-wide ioTempsCleaned() counter.
+ */
+unsigned sweepStaleTemps(const char *site, const std::string &dir,
+                         bool selfStale = false);
+
+/**
+ * Force-remove every "<finalPath>.tmp.*" regardless of owner
+ * liveness. Only correct when the caller holds whatever lock
+ * serializes writers of @p finalPath (e.g. a farm entry's claim
+ * flock). Returns the number removed (also counted).
+ */
+unsigned sweepTempsFor(const char *site, const std::string &finalPath);
+
+} // namespace io
+} // namespace bvl
+
+#endif // BVL_SIM_IO_SIM_IO_HH

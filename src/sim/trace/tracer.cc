@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -63,11 +64,15 @@ Tracer::Tracer(const TraceOptions &options, EventQueue &queue,
     : opts(options), eq(queue), stats(statGroup)
 {
     if (!opts.path.empty()) {
-        out.open(opts.path, std::ios::binary | std::ios::trunc);
-        if (!out)
-            fatal("cannot open trace output '%s'", opts.path.c_str());
-        out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-        eventsArmed = true;
+        std::string err;
+        if (!out.createTrunc("trace.events.open", opts.path, &err)) {
+            // A trace is an observation: never fail the run over it.
+            warn("cannot open trace output '%s' (%s); event tracing "
+                 "disabled", opts.path.c_str(), err.c_str());
+        } else {
+            buf = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+            eventsArmed = true;
+        }
         startTick = static_cast<Tick>(opts.startNs * ticksPerNs);
         stopTick = opts.stopNs < 0
                        ? maxTick
@@ -159,12 +164,30 @@ Tracer::asyncEnd(TraceCat c, unsigned tid, const char *name,
 void
 Tracer::writeEvent(const Json &ev)
 {
-    if (!out.is_open())
+    if (!eventsArmed)
         return;
     if (!firstEvent)
-        out << ",\n";
+        buf += ",\n";
     firstEvent = false;
-    out << ev.dump(0);
+    buf += ev.dump(0);
+    if (buf.size() >= (1u << 18))
+        flushEvents();
+}
+
+void
+Tracer::flushEvents()
+{
+    if (!out.isOpen() || buf.empty())
+        return;
+    std::string err;
+    if (!out.writeAll("trace.events.write", buf.data(), buf.size(),
+                      &err)) {
+        warn("trace output %s: %s; event tracing disabled (partial "
+             "trace left behind)", opts.path.c_str(), err.c_str());
+        out.close();
+        eventsArmed = false;
+    }
+    buf.clear();
 }
 
 void
@@ -200,11 +223,7 @@ Tracer::sampleNow(bool reschedule)
 void
 Tracer::writeSamples()
 {
-    std::ofstream sout(opts.samplePath,
-                       std::ios::binary | std::ios::trunc);
-    if (!sout)
-        fatal("cannot open sample output '%s'", opts.samplePath.c_str());
-
+    std::string text;
     bool csv = opts.samplePath.size() >= 4 &&
                opts.samplePath.compare(opts.samplePath.size() - 4, 4,
                                        ".csv") == 0;
@@ -214,6 +233,7 @@ Tracer::writeSamples()
         for (const auto &s : samples)
             for (const auto &[name, delta] : s.deltas)
                 cols.insert(name);
+        std::ostringstream sout;
         sout << "ns";
         for (const auto &c : cols)
             sout << "," << c;
@@ -229,24 +249,31 @@ Tracer::writeSamples()
             }
             sout << "\n";
         }
-        return;
+        text = sout.str();
+    } else {
+        Json doc = Json::object();
+        doc.set("format", "bvl-stat-samples-v1");
+        doc.set("intervalNs", opts.sampleIntervalNs);
+        Json rows = Json::array();
+        for (const auto &s : samples) {
+            Json row = Json::object();
+            row.set("ns", static_cast<double>(s.at) / ticksPerNs);
+            Json deltas = Json::object();
+            for (const auto &[name, delta] : s.deltas)
+                deltas.set(name, delta);
+            row.set("deltas", std::move(deltas));
+            rows.push(std::move(row));
+        }
+        doc.set("samples", std::move(rows));
+        text = doc.dump(2);
+        text += '\n';
     }
 
-    Json doc = Json::object();
-    doc.set("format", "bvl-stat-samples-v1");
-    doc.set("intervalNs", opts.sampleIntervalNs);
-    Json rows = Json::array();
-    for (const auto &s : samples) {
-        Json row = Json::object();
-        row.set("ns", static_cast<double>(s.at) / ticksPerNs);
-        Json deltas = Json::object();
-        for (const auto &[name, delta] : s.deltas)
-            deltas.set(name, delta);
-        row.set("deltas", std::move(deltas));
-        rows.push(std::move(row));
-    }
-    doc.set("samples", std::move(rows));
-    sout << doc.dump(2) << "\n";
+    std::string err;
+    if (!io::writeFileAtomic("trace.samples", opts.samplePath, text,
+                             &err))
+        warn("cannot write sample output '%s' (%s); samples dropped",
+             opts.samplePath.c_str(), err.c_str());
 }
 
 void
@@ -255,8 +282,10 @@ Tracer::finish()
     if (finished)
         return;
     finished = true;
-    if (out.is_open()) {
-        out << "]}\n";
+    if (out.isOpen()) {
+        if (eventsArmed)
+            buf += "]}\n";
+        flushEvents();
         out.close();
     }
     if (sampleTicks != 0) {

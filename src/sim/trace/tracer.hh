@@ -24,19 +24,28 @@
  * done-predicate or the tick limit, not on queue drain (the only
  * visible effect: a hung run that would have drained dry reports
  * time_limit rather than deadlock while sampling is armed).
+ *
+ * Degradation policy (DESIGN.md §17): a trace is an observation, so
+ * an output failure never perturbs — let alone fails — the run it
+ * observes. A trace file that cannot be opened or written disarms
+ * event tracing with one warning; a sample document that cannot be
+ * published is dropped with a warning. Either way the RunStatus is
+ * whatever the simulation earned. All output goes through the sim/io
+ * seam (events buffered and flushed in chunks; samples published
+ * atomically).
  */
 
 #ifndef BVL_SIM_TRACE_TRACER_HH
 #define BVL_SIM_TRACE_TRACER_HH
 
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "sim/check/json.hh"
 #include "sim/event_queue.hh"
+#include "sim/io/sim_io.hh"
 #include "sim/stats.hh"
 #include "sim/trace/trace.hh"
 #include "sim/types.hh"
@@ -109,6 +118,7 @@ class Tracer
               Tick at, const Json *dur, const std::uint64_t *id,
               Json &&args);
     void writeEvent(const Json &ev);
+    void flushEvents();
     void sampleNow(bool reschedule);
     void writeSamples();
 
@@ -120,7 +130,8 @@ class Tracer
     bool finished = false;
     Tick startTick = 0;
     Tick stopTick = maxTick;
-    std::ofstream out;
+    io::SimFile out;
+    std::string buf;
     bool firstEvent = true;
     std::uint64_t asyncSeq = 1;
     unsigned nextTid = 1;

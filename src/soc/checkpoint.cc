@@ -1,15 +1,11 @@
 #include "soc/checkpoint.hh"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "sim/check/json.hh"
+#include "sim/io/sim_io.hh"
 #include "sim/logging.hh"
 #include "sweep/service/digest.hh"
 
@@ -260,45 +256,13 @@ saveCheckpoint(const std::string &path, Soc &soc,
     text += '\n';
     text += payload;
 
-    // Atomic publish: temp file, fsync, rename (result-cache idiom).
-    std::error_code ec;
+    // Atomic publish through the seam: temp file, fsync, rename, with
+    // the temp unlinked on any failure (result-cache idiom).
     auto parent = std::filesystem::path(path).parent_path();
-    if (!parent.empty())
-        std::filesystem::create_directories(parent, ec);
-    std::string tmp = path + ".tmp." + std::to_string(::getpid());
-    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0) {
-        if (error)
-            *error = "cannot open " + tmp;
+    if (!parent.empty() &&
+        !io::mkdirs("checkpoint.save.mkdir", parent.string(), error))
         return false;
-    }
-    std::size_t off = 0;
-    bool ok = true;
-    while (off < text.size()) {
-        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
-        if (n < 0) {
-            ok = false;
-            break;
-        }
-        off += std::size_t(n);
-    }
-    if (ok)
-        ::fsync(fd);
-    ::close(fd);
-    if (!ok) {
-        ::unlink(tmp.c_str());
-        if (error)
-            *error = "short write of " + tmp;
-        return false;
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        ::unlink(tmp.c_str());
-        if (error)
-            *error = "cannot publish " + path + ": " + ec.message();
-        return false;
-    }
-    return true;
+    return io::writeFileAtomic("checkpoint.save", path, text, error);
 }
 
 CheckpointStatus
@@ -312,13 +276,18 @@ loadCheckpoint(const std::string &path, Soc &soc,
         return st;
     };
 
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return fail(CheckpointStatus::missing,
-                    "no checkpoint at " + path);
-    std::ostringstream text;
-    text << in.rdbuf();
-    std::string data = text.str();
+    std::string data;
+    bool missing = false;
+    std::string rerr;
+    if (!io::readFile("checkpoint.load.read", path, &data, &missing,
+                      &rerr)) {
+        if (missing)
+            return fail(CheckpointStatus::missing,
+                        "no checkpoint at " + path);
+        // Present but unreadable: never trusted, so callers treat it
+        // like any other bad artifact (quarantine + re-produce).
+        return fail(CheckpointStatus::corrupt, rerr);
+    }
 
     auto nl = data.find('\n');
     if (nl == std::string::npos)
@@ -412,11 +381,11 @@ loadCheckpoint(const std::string &path, Soc &soc,
 bool
 quarantineCheckpoint(const std::string &path)
 {
-    std::error_code ec;
-    std::filesystem::rename(path, path + ".corrupt", ec);
-    if (ec) {
+    std::string err;
+    if (!io::renameFile("checkpoint.quarantine.rename", path,
+                        path + ".corrupt", &err)) {
         warn("checkpoint: cannot quarantine %s: %s", path.c_str(),
-             ec.message().c_str());
+             err.c_str());
         return false;
     }
     return true;

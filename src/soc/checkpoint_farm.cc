@@ -1,17 +1,16 @@
 #include "soc/checkpoint_farm.hh"
 
-#include <fcntl.h>
-#include <sys/file.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "sim/env.hh"
+#include "sim/io/sim_io.hh"
+#include "sim/logging.hh"
 #include "sweep/service/digest.hh"
 #include "sweep/service/job_hash.hh"
 
@@ -29,6 +28,16 @@ std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_produced{0};
 std::atomic<std::uint64_t> g_corrupt{0};
 std::atomic<std::uint64_t> g_evicted{0};
+
+// Sticky "stop writing to the farm" switch: one failed publish very
+// likely means they all fail (disk full, directory gone), and the
+// farm is a pure accelerator — cells just fast-forward privately.
+std::atomic<bool> g_storesDisabled{false};
+
+// Farm dirs already swept for stale temps this process: the sweep is
+// a startup chore per directory, not a per-cell one.
+std::mutex g_sweptMu;
+std::set<std::string> g_sweptDirs;
 
 } // namespace
 
@@ -78,33 +87,46 @@ CheckpointFarm::entryPath(const std::string &hash) const
     return _dir + "/" + hash.substr(0, 2) + "/" + hash + ".bvl";
 }
 
-CheckpointFarm::Claim::Claim(const std::string &entryPath)
+CheckpointFarm::Claim::Claim(const std::string &entryPath,
+                             long long timeoutMs)
 {
-    std::error_code ec;
     auto parent = std::filesystem::path(entryPath).parent_path();
     if (!parent.empty())
-        std::filesystem::create_directories(parent, ec);
+        io::mkdirs("ckpt_farm.claim.mkdir", parent.string());
     std::string lock = entryPath + ".lock";
     // Each Claim opens its own file description, so LOCK_EX contends
     // between threads of one process as well as between processes.
-    fd = ::open(lock.c_str(), O_RDWR | O_CREAT, 0644);
-    if (fd < 0)
-        return;
-    while (::flock(fd, LOCK_EX) != 0) {
-        if (errno != EINTR) {
-            ::close(fd);
+    // The wait is bounded (BVL_CKPT_LOCK_TIMEOUT_MS): the kernel
+    // drops the flock when a holder *dies*, so a timeout means a
+    // live-but-wedged holder — waiting forever behind it would wedge
+    // this cell too, when producing privately is always available.
+    if (timeoutMs < 0)
+        timeoutMs = envInt("BVL_CKPT_LOCK_TIMEOUT_MS", 60000, 1,
+                           24ll * 3600 * 1000);
+    std::string diag;
+    fd = io::lockExclusive("ckpt_farm.lock", lock, timeoutMs, &diag);
+    if (fd < 0) {
+        warn("checkpoint farm: %s; producing without single-flight",
+             diag.c_str());
+    } else {
+        // Anything "<entry>.tmp.*" under a held claim is an orphan of
+        // a dead or failed producer — the claim serializes writers.
+        // If this throws (injected crash) the destructor will never
+        // run, so the flock must be released here or a later claimant
+        // in this process would wait out the whole deadline on it.
+        try {
+            io::sweepTempsFor("ckpt_farm.claim.sweep", entryPath);
+        } catch (...) {
+            io::unlockAndClose(fd);
             fd = -1;
-            return;
+            throw;
         }
     }
 }
 
 CheckpointFarm::Claim::~Claim()
 {
-    if (fd >= 0) {
-        ::flock(fd, LOCK_UN);
-        ::close(fd);
-    }
+    io::unlockAndClose(fd);
 }
 
 void
@@ -184,5 +206,38 @@ std::uint64_t CheckpointFarm::hits() { return g_hits; }
 std::uint64_t CheckpointFarm::produced() { return g_produced; }
 std::uint64_t CheckpointFarm::corrupt() { return g_corrupt; }
 std::uint64_t CheckpointFarm::evicted() { return g_evicted; }
+
+void CheckpointFarm::disableStores() { g_storesDisabled = true; }
+bool CheckpointFarm::storesDisabled() { return g_storesDisabled; }
+
+void
+CheckpointFarm::resetForTest()
+{
+    g_hits = 0;
+    g_produced = 0;
+    g_corrupt = 0;
+    g_evicted = 0;
+    g_storesDisabled = false;
+    std::lock_guard<std::mutex> lock(g_sweptMu);
+    g_sweptDirs.clear();
+}
+
+unsigned
+CheckpointFarm::sweepStale() const
+{
+    return io::sweepStaleTemps("ckpt_farm.sweep", _dir,
+                               /*selfStale=*/true);
+}
+
+unsigned
+CheckpointFarm::sweepStaleOnce() const
+{
+    {
+        std::lock_guard<std::mutex> lock(g_sweptMu);
+        if (!g_sweptDirs.insert(_dir).second)
+            return 0;
+    }
+    return sweepStale();
+}
 
 } // namespace bvl

@@ -16,7 +16,17 @@
  * lock wake to find the entry on disk. flock contends both across
  * threads (each Claim opens its own file description) and across
  * BVL_SWEEP_ISOLATE=1 worker processes, and the kernel drops it if a
- * producer dies — no stale-lock recovery protocol is needed.
+ * producer dies — no stale-lock recovery protocol is needed. The wait
+ * is nevertheless bounded (BVL_CKPT_LOCK_TIMEOUT_MS, default 60 s): a
+ * live-but-wedged holder should cost this cell one diagnostic and a
+ * private fast-forward, not a hang.
+ *
+ * Degradation policy (DESIGN.md §17): the farm is a pure accelerator.
+ * A failed publish disables farm stores process-wide with one warning
+ * (disableStores()); cells keep fast-forwarding privately and every
+ * result stays correct. All filesystem access goes through the sim/io
+ * seam, and orphaned "<entry>.tmp.*" publish temps are removed under
+ * the claim lock (sweepTempsFor) or by sweepStale() at startup.
  *
  * Entries are never trusted blindly: a failed digest quarantines the
  * file to "*.corrupt" and the prefix is re-produced. A byte budget
@@ -63,16 +73,21 @@ class CheckpointFarm
     std::string entryPath(const std::string &hash) const;
 
     /**
-     * RAII exclusive flock on "<entry>.lock". The constructor BLOCKS
-     * until the lock is granted; destruction (or process death)
-     * releases it. held() is false only if the lock file could not be
-     * created — callers then fall back to producing without
-     * single-flight (correct, just not deduplicated).
+     * RAII exclusive flock on "<entry>.lock". The constructor blocks
+     * until the lock is granted or @p timeoutMs elapses (-1 = the
+     * BVL_CKPT_LOCK_TIMEOUT_MS env knob, default 60000); destruction
+     * (or process death) releases it. held() is false when the lock
+     * file could not be created or the wait timed out (one warn()
+     * names the lock path and holder pid) — callers then fall back to
+     * producing without single-flight (correct, just not
+     * deduplicated). Acquiring the claim also removes any orphaned
+     * "<entry>.tmp.*" left by a dead producer.
      */
     class Claim
     {
       public:
-        explicit Claim(const std::string &entryPath);
+        explicit Claim(const std::string &entryPath,
+                       long long timeoutMs = -1);
         ~Claim();
         Claim(const Claim &) = delete;
         Claim &operator=(const Claim &) = delete;
@@ -106,6 +121,26 @@ class CheckpointFarm
     static std::uint64_t produced();
     static std::uint64_t corrupt();
     static std::uint64_t evicted();
+
+    /**
+     * Stop publishing to the farm for the rest of the process (after
+     * a failed publish — the farm is an accelerator, not a
+     * requirement). Restores keep working.
+     */
+    static void disableStores();
+    static bool storesDisabled();
+
+    /** Zero the process-wide counters and re-enable stores (tests). */
+    static void resetForTest();
+
+    /** Remove stale "*.tmp.*" orphans under the farm dir (startup). */
+    unsigned sweepStale() const;
+
+    /**
+     * sweepStale(), but at most once per directory per process — the
+     * first cell to use a farm dir pays the walk, the rest skip it.
+     */
+    unsigned sweepStaleOnce() const;
 
   private:
     std::string _dir;

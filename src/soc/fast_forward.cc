@@ -216,6 +216,10 @@ runFastForwarded(Soc &soc, Design design, Workload &workload,
             CheckpointFarm farm(ckpt.farmDir.empty()
                                     ? CheckpointFarm::defaultDir()
                                     : ckpt.farmDir);
+            // Reclaim publish temps orphaned by a dead producer (the
+            // first cell per dir pays this; a crash mid-publish must
+            // not leak disk forever).
+            farm.sweepStaleOnce();
             std::string hash = CheckpointFarm::prefixHashHex(
                 workload.name(), ckpt.ffInsts, checkpointFlavor(soc),
                 soc.vlenBits(), inputSha);
@@ -252,7 +256,12 @@ runFastForwarded(Soc &soc, Design design, Workload &workload,
                 return false;
             };
 
-            if (!tryRestore()) {
+            if (CheckpointFarm::storesDisabled()) {
+                // A previous publish failed: don't contend on claims
+                // or retry the bad disk per cell, just fast-forward
+                // privately (restores above still work).
+                producePrefix(nullptr);
+            } else if (!tryRestore()) {
                 // Single-flight: first claimant produces, everyone
                 // else blocks here and restores what it published.
                 CheckpointFarm::Claim claim(entry);
@@ -262,17 +271,27 @@ runFastForwarded(Soc &soc, Design design, Workload &workload,
                     std::string err;
                     if (!saveCheckpoint(entry, soc, workload.name(),
                                         ckpt.ffInsts, trace, inputSha,
-                                        &err))
-                        fatal("cannot publish farm entry %s: %s",
-                              entry.c_str(), err.c_str());
-                    CheckpointFarm::noteProduced();
-                    inform("checkpoint farm: produced prefix %s at %s "
-                           "(%llu warm records)",
-                           hash.substr(0, 12).c_str(), entry.c_str(),
-                           static_cast<unsigned long long>(
-                               trace.records()));
-                    farm.evictOverBudget(
-                        CheckpointFarm::budgetBytesFromEnv(), entry);
+                                        &err)) {
+                        // The prefix state is already produced in
+                        // this SoC — the run is unharmed. The farm
+                        // just stops accelerating other cells.
+                        CheckpointFarm::disableStores();
+                        warn("cannot publish farm entry %s (%s); farm "
+                             "stores DISABLED — cells fast-forward "
+                             "privately from here on", entry.c_str(),
+                             err.c_str());
+                    } else {
+                        CheckpointFarm::noteProduced();
+                        inform("checkpoint farm: produced prefix %s "
+                               "at %s (%llu warm records)",
+                               hash.substr(0, 12).c_str(),
+                               entry.c_str(),
+                               static_cast<unsigned long long>(
+                                   trace.records()));
+                        farm.evictOverBudget(
+                            CheckpointFarm::budgetBytesFromEnv(),
+                            entry);
+                    }
                 }
             }
         } else if (!ckpt.savePath.empty()) {

@@ -1,6 +1,7 @@
 #include "soc/run_driver.hh"
 
 #include "sim/check/forensics.hh"
+#include "sim/io/io_fault.hh"
 #include "sim/logging.hh"
 #include "sim/watchdog.hh"
 #include "soc/fast_forward.hh"
@@ -191,6 +192,11 @@ runWorkload(Design design, Workload &workload, const RunOptions &opts)
             warn("%s on %s: simulated-time limit (%g ns) expired",
                  r.workload.c_str(), r.design.c_str(), opts.limitNs);
         }
+    } catch (const io::IoCrashError &) {
+        // An injected crash point models process death: it must
+        // unwind past the run-status machinery, not be absorbed as
+        // one more sim_error.
+        throw;
     } catch (const CheckError &e) {
         r.status = RunStatus::check_failed;
         r.message = e.what();

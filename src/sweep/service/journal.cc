@@ -1,10 +1,7 @@
 #include "sweep/service/journal.hh"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
 #include "sim/check/forensics.hh"
 #include "sim/logging.hh"
@@ -20,32 +17,28 @@ constexpr const char *kJournalSchema = "bvl-sweep-journal-v1";
 
 } // namespace
 
-SweepJournal::~SweepJournal()
-{
-    if (fd >= 0)
-        ::close(fd);
-}
-
 bool
 SweepJournal::open(const std::string &path)
 {
-    bvl_assert(fd < 0, "journal opened twice");
+    bvl_assert(!file.isOpen(), "journal opened twice");
     _path = path;
 
-    std::error_code ec;
     auto parent = std::filesystem::path(path).parent_path();
     if (!parent.empty())
-        std::filesystem::create_directories(parent, ec);
+        io::mkdirs("journal.open.mkdir", parent.string());
 
     // Load existing entries before opening for append: a line is the
     // unit of durability, so anything unparsable (the torn tail of a
-    // killed writer) is skipped, not fatal.
-    std::ifstream in(path);
-    if (in) {
+    // killed writer) is skipped, not fatal. An unreadable-but-present
+    // file is the same deal — every loss here only costs re-simulation.
+    std::string text;
+    bool missing = false;
+    std::string rerr;
+    if (io::readFile("journal.load.read", path, &text, &missing,
+                     &rerr)) {
+        std::istringstream in(text);
         std::string line;
-        std::size_t lineno = 0;
         while (std::getline(in, line)) {
-            ++lineno;
             if (line.empty())
                 continue;
             try {
@@ -62,6 +55,8 @@ SweepJournal::open(const std::string &path)
                     e.attempts = static_cast<unsigned>(
                         row["attempts"].asU64());
                 replay[hash] = std::move(e);
+            } catch (const io::IoCrashError &) {
+                throw;
             } catch (const SimError &) {
                 ++_skipped;
             }
@@ -69,12 +64,15 @@ SweepJournal::open(const std::string &path)
         if (_skipped)
             warn("sweep journal %s: skipped %zu corrupt/truncated "
                  "line(s)", path.c_str(), _skipped);
+    } else if (!missing) {
+        warn("sweep journal %s: unreadable (%s); starting over without "
+             "replay entries", path.c_str(), rerr.c_str());
     }
 
-    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd < 0) {
+    std::string oerr;
+    if (!file.openAppend("journal.open", path, &oerr)) {
         warn("sweep journal: cannot open %s for append; journaling "
-             "disabled", path.c_str());
+             "disabled (%s)", path.c_str(), oerr.c_str());
         return false;
     }
     return true;
@@ -99,9 +97,6 @@ SweepJournal::append(const std::string &hash, const SweepJob &job,
                      unsigned attempts, const char *source,
                      const RunResult &result, double wallMs)
 {
-    if (fd < 0)
-        return;
-
     Json row = Json::object();
     row.set("schema", kJournalSchema);
     row.set("hash", hash);
@@ -116,21 +111,27 @@ SweepJournal::append(const std::string &hash, const SweepJob &job,
     line += '\n';
 
     std::lock_guard<std::mutex> lock(m);
+    // The in-memory entry stays correct whatever the disk does: the
+    // rest of this process still dedupes against it.
+    replay[hash] = Entry{result, attempts};
+    if (!file.isOpen())
+        return;
+
     // One write per line keeps a torn append confined to the tail;
     // fsync before the caller's future resolves makes the entry
-    // survive kill -9.
-    std::size_t off = 0;
-    while (off < line.size()) {
-        ssize_t n = ::write(fd, line.data() + off, line.size() - off);
-        if (n < 0) {
-            warn("sweep journal %s: write failed; entry dropped",
-                 _path.c_str());
-            return;
-        }
-        off += static_cast<std::size_t>(n);
+    // survive kill -9. If either fails the journal can no longer
+    // promise that, so it degrades — loudly, once — rather than
+    // aborting a sweep whose results are still perfectly good.
+    std::string err;
+    if (!file.writeAll("journal.append.write", line.data(),
+                       line.size(), &err) ||
+        !file.sync("journal.append.fsync", &err)) {
+        file.close();
+        _degraded = true;
+        warn("sweep journal %s: append failed (%s); journaling "
+             "DISABLED — this sweep will finish but is NOT resumable "
+             "after a crash", _path.c_str(), err.c_str());
     }
-    ::fsync(fd);
-    replay[hash] = Entry{result, attempts};
 }
 
 } // namespace bvl

@@ -21,6 +21,13 @@
  *
  * Thread-safe: appends from concurrent sweep workers are serialized
  * on an internal mutex.
+ *
+ * Degradation policy (DESIGN.md §17): a failed append write or fsync
+ * closes the file and marks the journal degraded — the sweep keeps
+ * running and stays correct (in-memory replay still dedupes within
+ * this process) but is no longer resumable, announced with one loud
+ * warning. All filesystem access goes through the sim/io seam, so
+ * every failure mode here is reachable deterministically.
  */
 
 #ifndef BVL_SWEEP_SERVICE_JOURNAL_HH
@@ -30,6 +37,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "sim/io/sim_io.hh"
 #include "sweep/sweep_runner.hh"
 
 namespace bvl
@@ -39,7 +47,6 @@ class SweepJournal
 {
   public:
     SweepJournal() = default;
-    ~SweepJournal();
 
     SweepJournal(const SweepJournal &) = delete;
     SweepJournal &operator=(const SweepJournal &) = delete;
@@ -52,8 +59,15 @@ class SweepJournal
      */
     bool open(const std::string &path);
 
-    bool isOpen() const { return fd >= 0; }
+    bool isOpen() const { return file.isOpen(); }
     const std::string &path() const { return _path; }
+
+    /**
+     * True once an append failed durably: the journal file is closed,
+     * this sweep is no longer resumable, and further appends only
+     * update the in-memory replay map.
+     */
+    bool degraded() const { return _degraded; }
 
     /** Entries loaded from disk at open() time (resume candidates). */
     std::size_t loadedEntries() const { return replay.size(); }
@@ -87,8 +101,9 @@ class SweepJournal
         unsigned attempts = 0;
     };
 
-    int fd = -1;
+    io::SimFile file;
     std::string _path;
+    bool _degraded = false;
     std::size_t _skipped = 0;
     mutable std::mutex m;
     std::unordered_map<std::string, Entry> replay;

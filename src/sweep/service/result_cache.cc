@@ -1,13 +1,6 @@
 #include "sweep/service/result_cache.hh"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <thread>
-
+#include "sim/io/sim_io.hh"
 #include "sim/logging.hh"
 #include "soc/run_io.hh"
 #include "sweep/service/digest.hh"
@@ -24,14 +17,25 @@ constexpr const char *kCacheSchema = "bvl-result-cache-v1";
 void
 quarantine(const std::string &path)
 {
-    std::error_code ec;
-    std::filesystem::rename(path, path + ".corrupt", ec);
-    if (ec)
+    std::string err;
+    if (!io::renameFile("result_cache.quarantine.rename", path,
+                        path + ".corrupt", &err))
         warn("result cache: cannot quarantine %s: %s", path.c_str(),
-             ec.message().c_str());
+             err.c_str());
 }
 
 } // namespace
+
+void
+ResultCache::setDir(std::string dir)
+{
+    _dir = std::move(dir);
+    // Orphaned publish temps (writers that died mid-store) are pure
+    // litter: nothing references them, so clear them out up front.
+    if (!_dir.empty())
+        _tempsSwept = io::sweepStaleTemps("result_cache.sweep", _dir,
+                                          /*selfStale=*/true);
+}
 
 std::string
 ResultCache::entryPath(const std::string &hash) const
@@ -45,16 +49,24 @@ ResultCache::lookup(const std::string &hash, RunResult *out)
     if (!enabled())
         return false;
     std::string path = entryPath(hash);
-    std::ifstream in(path);
-    if (!in)
+    std::string text;
+    bool missing = false;
+    std::string rerr;
+    if (!io::readFile("result_cache.lookup.read", path, &text,
+                      &missing, &rerr)) {
+        // Unreadable-but-present is a transient I/O problem, not
+        // proof of corruption: miss (the job re-simulates) but leave
+        // the entry for the next run to try again.
+        if (!missing)
+            warn("result cache: cannot read %s (%s); re-simulating",
+                 path.c_str(), rerr.c_str());
         return false;
-    std::ostringstream text;
-    text << in.rdbuf();
+    }
 
     // Any structural problem from here on is an integrity failure:
     // quarantine the entry and miss so the job re-simulates.
     try {
-        Json doc = Json::parse(text.str());
+        Json doc = Json::parse(text);
         if (doc["schema"].asString() != kCacheSchema ||
             doc["hash"].asString() != hash)
             throw SimFatalError("schema/hash mismatch");
@@ -62,6 +74,8 @@ ResultCache::lookup(const std::string &hash, RunResult *out)
         if (sha256Hex(payload) != doc["digest"].asString())
             throw SimFatalError("digest mismatch");
         *out = runResultFromJson(doc["result"]);
+    } catch (const io::IoCrashError &) {
+        throw;
     } catch (const SimError &e) {
         ++_corrupt;
         warn("result cache: corrupt entry %s (%s); quarantined and "
@@ -75,13 +89,9 @@ ResultCache::lookup(const std::string &hash, RunResult *out)
 void
 ResultCache::store(const std::string &hash, const RunResult &result)
 {
-    if (!enabled())
+    if (!enabled() || _storeBroken)
         return;
     std::string path = entryPath(hash);
-
-    std::error_code ec;
-    std::filesystem::create_directories(
-        std::filesystem::path(path).parent_path(), ec);
 
     Json doc = Json::object();
     doc.set("schema", kCacheSchema);
@@ -93,43 +103,25 @@ ResultCache::store(const std::string &hash, const RunResult &result)
     std::string text = doc.dump(0);
     text += '\n';
 
-    // Atomic publish: unique temp name, fsync, rename. Two writers
+    // Atomic publish: unique temp name, fsync, rename (the seam owns
+    // the mechanics and unlinks the temp on failure). Two writers
     // racing on the same hash both write identical bytes, so either
     // rename winning is correct.
-    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
-                      "." +
-                      std::to_string(std::hash<std::thread::id>{}(
-                          std::this_thread::get_id()) &
-                                     0xffff);
-    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0) {
-        warn("result cache: cannot write %s", tmp.c_str());
-        return;
-    }
-    std::size_t off = 0;
-    bool ok = true;
-    while (off < text.size()) {
-        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
-        if (n < 0) {
-            ok = false;
-            break;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    if (ok)
-        ::fsync(fd);
-    ::close(fd);
-    if (!ok) {
-        warn("result cache: short write of %s; entry dropped",
-             tmp.c_str());
-        ::unlink(tmp.c_str());
-        return;
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        warn("result cache: cannot publish %s: %s", path.c_str(),
-             ec.message().c_str());
-        ::unlink(tmp.c_str());
+    std::string err;
+    std::string parent =
+        std::string(path, 0, path.find_last_of('/'));
+    if (!io::mkdirs("result_cache.store.mkdir", parent, &err) ||
+        !io::writeFileAtomic("result_cache.store", path, text,
+                             &err)) {
+        // One failed store very likely means they all fail (disk
+        // full, directory unwritable): disable the store side for
+        // the rest of the run rather than warn per job. Lookups stay
+        // live — whatever was published before the disk went bad is
+        // still perfectly good.
+        if (!_storeBroken.exchange(true))
+            warn("result cache: cannot store %s (%s); cache stores "
+                 "DISABLED for the rest of this run", path.c_str(),
+                 err.c_str());
     }
 }
 

@@ -19,6 +19,13 @@
  * transparently re-simulate and re-store. Stores are atomic
  * (temp file + fsync + rename), so concurrent sweeps sharing a cache
  * directory never observe a partial entry under its final name.
+ *
+ * Degradation policy (DESIGN.md §17): the cache is a pure
+ * accelerator, so every failure turns into a miss. A failed store
+ * additionally disables storing for the rest of the run (one warning)
+ * — a full disk should cost one warning, not one per job. All
+ * filesystem access goes through the sim/io seam; setDir() sweeps
+ * orphaned "*.tmp.*" files left by dead writers.
  */
 
 #ifndef BVL_SWEEP_SERVICE_RESULT_CACHE_HH
@@ -37,8 +44,11 @@ class ResultCache
   public:
     ResultCache() = default;
 
-    /** Enable the cache rooted at @p dir (created on first store). */
-    void setDir(std::string dir) { _dir = std::move(dir); }
+    /**
+     * Enable the cache rooted at @p dir (created on first store).
+     * Sweeps stale temp files orphaned under @p dir by dead writers.
+     */
+    void setDir(std::string dir);
 
     bool enabled() const { return !_dir.empty(); }
     const std::string &dir() const { return _dir; }
@@ -58,9 +68,17 @@ class ResultCache
     /** Integrity failures detected by lookup() so far. */
     std::uint64_t corruptEntries() const { return _corrupt; }
 
+    /** True once a failed store disabled further stores this run. */
+    bool storeBroken() const { return _storeBroken; }
+
+    /** Stale temps removed by setDir()'s startup sweep. */
+    unsigned tempsSwept() const { return _tempsSwept; }
+
   private:
     std::string _dir;
     std::atomic<std::uint64_t> _corrupt{0};
+    std::atomic<bool> _storeBroken{false};
+    unsigned _tempsSwept = 0;
 };
 
 } // namespace bvl

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "sim/env.hh"
+#include "sim/io/io_fault.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "soc/checkpoint_farm.hh"
@@ -459,6 +460,11 @@ SweepService::summary() const
     s.farmProduced = CheckpointFarm::produced();
     s.farmCorrupt = CheckpointFarm::corrupt();
     s.farmEvicted = CheckpointFarm::evicted();
+    s.tmpCleaned = io::ioTempsCleaned();
+    s.ioFaults = io::ioFaultsFired();
+    s.journalDegraded = journal.degraded();
+    s.cacheDegraded = cache.storeBroken();
+    s.farmDegraded = CheckpointFarm::storesDisabled();
     return s;
 }
 
@@ -466,14 +472,15 @@ std::string
 SweepService::summaryLine() const
 {
     Summary s = summary();
-    char buf[384];
+    char buf[512];
     std::snprintf(
         buf, sizeof(buf),
         "bvl-sweep-summary: submitted=%llu simulated=%llu "
         "journal_hits=%llu cache_hits=%llu cache_corrupt=%llu "
         "retries=%llu quarantined=%llu failed=%llu interrupted=%d "
         "farm_hits=%llu farm_produced=%llu farm_corrupt=%llu "
-        "farm_evicted=%llu",
+        "farm_evicted=%llu tmp_cleaned=%llu io_faults=%llu "
+        "journal_degraded=%d cache_degraded=%d farm_degraded=%d",
         (unsigned long long)s.submitted, (unsigned long long)s.simulated,
         (unsigned long long)s.journalHits,
         (unsigned long long)s.cacheHits,
@@ -483,7 +490,11 @@ SweepService::summaryLine() const
         (unsigned long long)s.farmHits,
         (unsigned long long)s.farmProduced,
         (unsigned long long)s.farmCorrupt,
-        (unsigned long long)s.farmEvicted);
+        (unsigned long long)s.farmEvicted,
+        (unsigned long long)s.tmpCleaned,
+        (unsigned long long)s.ioFaults,
+        s.journalDegraded ? 1 : 0, s.cacheDegraded ? 1 : 0,
+        s.farmDegraded ? 1 : 0);
     return buf;
 }
 

@@ -149,6 +149,12 @@ class SweepService
         std::uint64_t farmProduced = 0;  ///< prefixes fast-forwarded
         std::uint64_t farmCorrupt = 0;   ///< entries quarantined
         std::uint64_t farmEvicted = 0;   ///< entries evicted (budget)
+        /** I/O-robustness telemetry (DESIGN.md §17). */
+        std::uint64_t tmpCleaned = 0;    ///< stale temps removed
+        std::uint64_t ioFaults = 0;      ///< injected faults fired
+        bool journalDegraded = false;    ///< journal lost durability
+        bool cacheDegraded = false;      ///< cache stores disabled
+        bool farmDegraded = false;       ///< farm stores disabled
     };
 
     Summary summary() const;
