@@ -71,6 +71,13 @@ taskParallelNames()
             "mis", "kcore"};
 }
 
+/** The Swan-style mobile kernel tier (DESIGN.md §18). */
+inline std::vector<std::string>
+mobileNames()
+{
+    return {"idct8", "ycbcr", "conv2d", "gemm8", "bytescan"};
+}
+
 /**
  * BVL_TRACE_DIR=<dir>: every run the bench launches writes a
  * Perfetto trace to <dir>/<seq>_<design>_<workload>.json. The

@@ -7,20 +7,23 @@
 # simulation loops (event queue, Clocked tick path, stat counters,
 # cache access path) and compare the two files.
 #
-# By default the measurement lands in build-bench/BENCH_kernel.json so
-# a casual run never disturbs the pinned baseline that
-# scripts/check_bench.py gates against. After an intentional perf
-# change, refresh the pin with:
+# By default the measurements land in build-bench/BENCH_kernel.json
+# and build-bench/BENCH_mobile.json so a casual run never disturbs the
+# pinned baselines that scripts/check_bench.py gates against. After an
+# intentional perf or timing-model change, refresh the pins with:
 #
 #   scripts/bench.sh --update     # rewrites BENCH_kernel.json
+#                                 # and BENCH_mobile.json
 #
 # Usage: scripts/bench.sh [--update | output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out=build-bench/BENCH_kernel.json
+mobile_out=build-bench/BENCH_mobile.json
 if [ "${1:-}" = "--update" ]; then
     out=BENCH_kernel.json
+    mobile_out=BENCH_mobile.json
 elif [ -n "${1:-}" ]; then
     out="$1"
 fi
@@ -29,7 +32,7 @@ jobs=$(nproc)
 echo "=== building benchmarks (Release) ==="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j "$jobs" \
-      --target microbench_sim fig04_speedup >/dev/null
+      --target microbench_sim fig04_speedup fig_mobile >/dev/null
 
 echo "=== kernel microbenchmarks ==="
 micro_json=build-bench/microbench.json
@@ -45,6 +48,15 @@ BVL_SCALE=tiny BVL_JOBS=1 ./build-bench/bench/fig04_speedup \
 fig04_end=$(date +%s.%N)
 fig04_s=$(python3 -c "print(f'{$fig04_end - $fig04_start:.3f}')")
 echo "fig04_speedup: ${fig04_s}s"
+
+echo "=== mobile tier (tiny scale, single-threaded) ==="
+# Simulated time and VMU pattern counts are machine-independent, so
+# this baseline is tight: check_bench.py --mobile flags any timing-
+# model change and any kernel that lost an access-pattern path.
+BVL_SCALE=tiny BVL_JOBS=1 BVL_MOBILE_OUT="$mobile_out" \
+    BVL_SWEEP_DIR=build-bench/.bvl-sweep-mobile \
+    ./build-bench/bench/fig_mobile > build-bench/fig_mobile.out
+echo "wrote $mobile_out"
 
 python3 - "$micro_json" "$out" "$fig04_s" <<'EOF'
 import json, os, subprocess, sys

@@ -23,7 +23,17 @@ Unlike nanoseconds, cycle error is machine-independent, so the bound
 is tight and not widened on CI. Wall-clock speedup is reported but
 never gated — it depends on the host.
 
-A third gate reads a sweep-service write-ahead journal (the
+A third gate covers the mobile kernel tier: --mobile checks a
+bvl-mobile-tier-v1 document (written by `BVL_MOBILE_OUT=<file>
+build/bench/fig_mobile`) against the pinned BENCH_mobile.json
+baseline. Simulated nanoseconds and VMU access-pattern line counts
+are machine-independent, so this gate is about the *timing model*,
+not the host: it fails when a kernel's simulated time regressed
+beyond tolerance, when a run stopped verifying, or when a kernel
+lost an access-pattern path it used to exercise (e.g. an indexed
+gather silently turned into unit-stride loads).
+
+A fourth gate reads a sweep-service write-ahead journal (the
 bvl-sweep-journal-v1 JSONL every figure bench appends to, DESIGN.md
 §14) as its results store: --journal fails if any journaled run ended
 in a non-ok status, and reports the row count, the designs covered and
@@ -35,6 +45,7 @@ Usage:
     scripts/check_bench.py --results build-bench/microbench.json
     scripts/check_bench.py --results r.json --tolerance 0.5
     scripts/check_bench.py --sampled build/sampled.json
+    scripts/check_bench.py --mobile build/mobile.json
     scripts/check_bench.py --journal build/.bvl-sweep/fig04.journal.jsonl
     scripts/check_bench.py --self-test
 """
@@ -179,6 +190,78 @@ def check_sampled(doc, max_mean_error):
     lines.append("%-16s %+7.2f%%  %6.1fx  %s"
                  % ("mean|err|", mean * 100.0,
                     doc.get("aggregateSpeedup", 0.0), verdict))
+    return failures, lines
+
+
+MOBILE_SCHEMA = "bvl-mobile-tier-v1"
+MOBILE_PATTERNS = ("unitLines", "stridedLines", "indexedLines")
+
+
+def load_mobile(path, role, hint):
+    """Validated bvl-mobile-tier-v1 document from fig_mobile."""
+    doc = load_json_doc(path, role, hint)
+    if doc.get("schema") != MOBILE_SCHEMA:
+        raise GateInputError("%s file %s has schema %r, expected %r; %s"
+                             % (role, path, doc.get("schema"),
+                                MOBILE_SCHEMA, hint))
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise GateInputError("%s file %s has no rows — did every run "
+                             "fail? %s" % (role, path, hint))
+    for row in rows:
+        if (not isinstance(row, dict) or "workload" not in row
+                or "design" not in row
+                or not isinstance(row.get("ns"), (int, float))):
+            raise GateInputError("%s file %s: row lacks workload/"
+                                 "design/ns; %s" % (role, path, hint))
+    return doc
+
+
+def check_mobile(baseline, results, tolerance):
+    """Return (failures, report_lines) for two mobile-tier documents.
+
+    Each baseline cell (workload x design) must still exist, verify,
+    keep its simulated time within tolerance, and keep every VMU
+    access-pattern class it used to exercise nonzero — a kernel whose
+    indexed gather silently degrades to something else should fail
+    loudly, not just shift a number.
+    """
+    if baseline.get("scale") != results.get("scale"):
+        raise GateInputError("mobile baseline is at scale %r but the "
+                             "results are at %r; rerun fig_mobile with "
+                             "BVL_SCALE=%s"
+                             % (baseline.get("scale"),
+                                results.get("scale"),
+                                baseline.get("scale")))
+    key = lambda r: (r["workload"], r["design"])
+    new = {key(r): r for r in results["rows"]}
+    failures = []
+    lines = []
+    for b in baseline["rows"]:
+        name = "%s/%s" % (b["workload"], b["design"])
+        r = new.get(key(b))
+        if r is None:
+            failures.append(name)
+            lines.append("%-18s MISSING from results" % name)
+            continue
+        problems = []
+        if not r.get("verified", False):
+            problems.append("NOT VERIFIED")
+        ratio = r["ns"] / b["ns"] if b["ns"] > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSED"
+            problems.append(verdict)
+        elif ratio < 1.0 / (1.0 + tolerance):
+            verdict = "improved"
+        for pat in MOBILE_PATTERNS:
+            if b.get(pat, 0) > 0 and r.get(pat, 0) == 0:
+                problems.append("LOST %s" % pat)
+        if problems:
+            failures.append(name)
+        lines.append("%-18s %12.0f ns -> %12.0f ns  (%+6.1f%%)  %s"
+                     % (name, b["ns"], r["ns"], (ratio - 1.0) * 100.0,
+                        " ".join(problems) if problems else verdict))
     return failures, lines
 
 
@@ -392,6 +475,84 @@ def self_test():
             else:
                 assert False, "bad sampled doc must be rejected"
 
+    # Mobile-tier gate: pass, regression, lost pattern, unverified,
+    # missing cell, scale mismatch, input diagnoses.
+    def mobile_doc(scale, rows):
+        out = []
+        for (w, d, ns, verified, unit, strided, indexed) in rows:
+            out.append({"workload": w, "design": d, "ns": ns,
+                        "verified": verified, "unitLines": unit,
+                        "stridedLines": strided,
+                        "indexedLines": indexed})
+        return {"schema": MOBILE_SCHEMA, "scale": scale, "rows": out}
+
+    mb = mobile_doc("tiny", [
+        ("idct8", "1b-4VL", 50000.0, True, 64, 18432, 352),
+        ("ycbcr", "1bDV", 20000.0, True, 0, 240, 288),
+    ])
+    failures, _ = check_mobile(mb, mb, 0.25)
+    assert not failures, "identical mobile docs must pass: %s" % failures
+
+    slow_mb = mobile_doc("tiny", [
+        ("idct8", "1b-4VL", 90000.0, True, 64, 18432, 352),
+        ("ycbcr", "1bDV", 20000.0, True, 0, 240, 288),
+    ])
+    failures, lines = check_mobile(mb, slow_mb, 0.25)
+    assert failures == ["idct8/1b-4VL"], \
+        "1.8x simulated-time must fail exactly one cell: %s" % failures
+    assert any("REGRESSED" in l for l in lines)
+
+    lost_mb = mobile_doc("tiny", [
+        ("idct8", "1b-4VL", 50000.0, True, 64, 18432, 0),
+        ("ycbcr", "1bDV", 20000.0, True, 0, 240, 288),
+    ])
+    failures, lines = check_mobile(mb, lost_mb, 0.25)
+    assert failures == ["idct8/1b-4VL"], \
+        "a lost indexed pattern must fail: %s" % failures
+    assert any("LOST indexedLines" in l for l in lines)
+
+    unver_mb = mobile_doc("tiny", [
+        ("idct8", "1b-4VL", 50000.0, False, 64, 18432, 352),
+        ("ycbcr", "1bDV", 20000.0, True, 0, 240, 288),
+    ])
+    failures, lines = check_mobile(mb, unver_mb, 0.25)
+    assert failures == ["idct8/1b-4VL"], \
+        "an unverified run must fail: %s" % failures
+    assert any("NOT VERIFIED" in l for l in lines)
+
+    missing_mb = mobile_doc("tiny", [
+        ("ycbcr", "1bDV", 20000.0, True, 0, 240, 288),
+    ])
+    failures, _ = check_mobile(mb, missing_mb, 0.25)
+    assert failures == ["idct8/1b-4VL"], \
+        "a dropped cell must fail: %s" % failures
+
+    try:
+        check_mobile(mb, mobile_doc("small", []), 0.25)
+    except GateInputError as e:
+        assert "scale" in str(e)
+    else:
+        assert False, "scale mismatch must be a gate input error"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_mobile = os.path.join(tmp, "mobile.json")
+        cases = [
+            ('{"schema": "bvl-other-v9", "rows": [{}]}', "has schema"),
+            ('{"schema": "%s", "rows": []}' % MOBILE_SCHEMA, "no rows"),
+            ('{"schema": "%s", "rows": [{"workload": "x"}]}'
+             % MOBILE_SCHEMA, "lacks workload/design/ns"),
+        ]
+        for content, expect in cases:
+            with open(bad_mobile, "w") as f:
+                f.write(content)
+            try:
+                load_mobile(bad_mobile, "mobile-results", "regenerate")
+            except GateInputError as e:
+                assert expect in str(e), \
+                    "wrong mobile diagnosis: %s" % e
+            else:
+                assert False, "bad mobile doc must be rejected"
+
     # Journal gate: all-ok passes, a bad row fails, input diagnoses.
     def journal_line(design, workload, status, wall_ms=100.0):
         return json.dumps({"schema": JOURNAL_SCHEMA, "hash": "h",
@@ -463,6 +624,12 @@ def main():
     ap.add_argument("--sampled",
                     help="bvl-sampled-validation-v1 JSON from "
                          "fig04_sampled to gate instead")
+    ap.add_argument("--mobile",
+                    help="bvl-mobile-tier-v1 JSON from fig_mobile to "
+                         "gate against the pinned mobile baseline")
+    ap.add_argument("--mobile-baseline", default="BENCH_mobile.json",
+                    help="pinned mobile-tier baseline (default: "
+                         "BENCH_mobile.json)")
     ap.add_argument("--journal",
                     help="bvl-sweep-journal-v1 JSONL from a bench "
                          "sweep: fail if any journaled run is not ok")
@@ -499,6 +666,34 @@ def main():
         print("sampled gate passed")
         return 0
 
+    if args.mobile:
+        try:
+            baseline = load_mobile(
+                args.mobile_baseline, "mobile-baseline",
+                "regenerate with scripts/bench.sh --update")
+            results = load_mobile(
+                args.mobile, "mobile-results",
+                "regenerate with BVL_MOBILE_OUT=%s "
+                "build/bench/fig_mobile" % args.mobile)
+            failures, lines = check_mobile(baseline, results,
+                                           args.tolerance)
+        except GateInputError as e:
+            print("mobile gate: ERROR: %s" % e, file=sys.stderr)
+            return 1
+        print("mobile gate: tolerance %.0f%%, baseline %s @ %s"
+              % (args.tolerance * 100.0, args.mobile_baseline,
+                 baseline.get("scale", "?")))
+        for line in lines:
+            print("  " + line)
+        if failures:
+            print("FAIL: regressed/missing/pattern-lost: %s"
+                  % ", ".join(failures))
+            print("(intentional timing-model change? refresh with "
+                  "scripts/bench.sh --update)")
+            return 1
+        print("mobile gate passed")
+        return 0
+
     if args.journal:
         try:
             rows, skipped = load_journal(args.journal)
@@ -519,8 +714,8 @@ def main():
         return 0
 
     if not args.results:
-        ap.error("--results, --sampled or --journal is required "
-                 "(or --self-test)")
+        ap.error("--results, --sampled, --mobile or --journal is "
+                 "required (or --self-test)")
 
     benches = [b for b in args.benches.split(",") if b]
     try:

@@ -15,13 +15,16 @@
 # mid-operation crashes and a seeded probabilistic soak must never
 # move sweep stdout or leave temp litter; scripts/chaos_smoke.sh),
 # gate the sweep journal a live sweep just wrote (scripts/check_bench.py
-# --journal), gate the sampled-simulation cycle-error bound against
-# full detail (fig04_sampled + scripts/check_bench.py --sampled), and
-# gate the kernel microbenchmarks against the pinned baseline
-# (scripts/check_bench.py).
+# --journal), smoke the mobile kernel tier (fig_mobile BVL_JOBS=1 vs 4
+# byte-identical, its journal gated, and its simulated-time /
+# access-pattern table gated against the pinned BENCH_mobile.json via
+# scripts/check_bench.py --mobile), gate the sampled-simulation
+# cycle-error bound against full detail (fig04_sampled +
+# scripts/check_bench.py --sampled), and gate the kernel
+# microbenchmarks against the pinned baseline (scripts/check_bench.py).
 #
 # Suites are selected with ctest labels (see tests/CMakeLists.txt):
-# unit, checker, concurrency, trace.
+# unit, checker, concurrency, trace, workloads.
 #
 # Parallelism: --jobs N or BVL_CI_JOBS=N (default: nproc). CI runners
 # often have fewer cores than nproc reports usable; both knobs
@@ -68,6 +71,21 @@ echo "fig04_speedup output is byte-identical across thread counts"
 echo "=== journal gate (every journaled sweep cell finished ok) ==="
 python3 scripts/check_bench.py \
     --journal build/sweep.j1/fig04_speedup.journal.jsonl
+
+echo "=== mobile tier smoke (fig_mobile, BVL_JOBS=1 vs 4 + gates) ==="
+rm -rf build/mobile.j1 build/mobile.j4
+BVL_SCALE=tiny BVL_JOBS=1 BVL_SWEEP_DIR=build/mobile.j1 \
+    BVL_MOBILE_OUT=build/mobile.json \
+    ./build/bench/fig_mobile > build/fig_mobile.j1
+BVL_SCALE=tiny BVL_JOBS=4 BVL_SWEEP_DIR=build/mobile.j4 \
+    ./build/bench/fig_mobile > build/fig_mobile.j4
+cmp build/fig_mobile.j1 build/fig_mobile.j4
+echo "fig_mobile output is byte-identical across thread counts"
+python3 scripts/check_bench.py \
+    --journal build/mobile.j1/fig_mobile.journal.jsonl
+# Simulated time and VMU access-pattern counts are machine-independent,
+# so the default tight tolerance applies even on CI.
+python3 scripts/check_bench.py --mobile build/mobile.json
 
 echo "=== armed-trace determinism (BVL_TRACE_DIR, BVL_JOBS=1 vs 4) ==="
 rm -rf build/traces.j1 build/traces.j4 build/sweep.tj1 build/sweep.tj4
@@ -134,11 +152,14 @@ cmake -B build-asan -S . -DBVL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== undefined-behavior build (UBSan, checker + trace suites) ==="
+echo "=== undefined-behavior build (UBSan, checker + trace + workloads) ==="
+# The workloads label rides along here: the mobile tier's int8/int16
+# fixed-point arithmetic is exactly where signed-overflow or shift UB
+# would hide.
 cmake -B build-ubsan -S . -DBVL_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$jobs"
 ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
-      -L 'checker|trace'
+      -L 'checker|trace|workloads'
 
 echo "=== thread-sanitized build (TSan, concurrency tests) ==="
 cmake -B build-tsan -S . -DBVL_SANITIZE=thread >/dev/null

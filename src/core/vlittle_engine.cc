@@ -57,7 +57,10 @@ VlittleEngine::VlittleEngine(ClockDomain &cd, StatGroup &sg,
       sVluDeliveries(sg.handle(sp + "vluDeliveries")),
       sVsuLines(sg.handle(sp + "vsuLines")),
       sCompleted(sg.handle(sp + "completed")),
-      sCycles(sg.handle(sp + "cycles"))
+      sCycles(sg.handle(sp + "cycles")),
+      sUnitLines(sg.handle(sp + "unitLines")),
+      sStridedLines(sg.handle(sp + "stridedLines")),
+      sIndexedLines(sg.handle(sp + "indexedLines"))
 {
     for (unsigned i = 0; i < p.numLanes; ++i) {
         lanes.push_back(std::make_unique<VectorLane>(
@@ -655,6 +658,10 @@ VlittleEngine::vmiuTick()
         vluOrder.push_back(req);
     }
     (isStore ? sStoreLineReqs : sLoadLineReqs)++;
+    // Access-pattern taxonomy (DESIGN.md §18): line requests broken
+    // down by how the element addresses were generated.
+    bool strided = in.op == Op::vlse || in.op == Op::vsse;
+    (indexed ? sIndexedLines : strided ? sStridedLines : sUnitLines)++;
     if (trace && trace->wants(TraceCat::vmu)) {
         Json args = Json::object();
         args.set("vseq", vseq);

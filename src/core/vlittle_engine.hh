@@ -232,7 +232,8 @@ class VlittleEngine : public Clocked, public VectorEngine, public LaneEnv
     StatHandle sModeSwitches, sDispatched, sVmiuCmds, sVcuStallsInjected,
                sUopsBroadcast, sVmuRetries, sVmuResponsesLost,
                sStoreLineReqs, sLoadLineReqs, sVmsuRawStalls,
-               sVluDeliveries, sVsuLines, sCompleted, sCycles;
+               sVluDeliveries, sVsuLines, sCompleted, sCycles,
+               sUnitLines, sStridedLines, sIndexedLines;
     FaultInjector *injector = nullptr;
     CheckContext *check = nullptr;
     Tracer *trace = nullptr;

@@ -122,19 +122,23 @@ sext(std::uint64_t v, unsigned ew)
 
 /**
  * Run @p body with the element width as a compile-time constant (the
- * only legal widths are 4 and 8). The per-element loops below are the
- * functional model's hot path — fast-forward executes whole vector
- * programs through them — and a constant width turns every
- * vecGet/vecSet memcpy into a single fixed-size load or store.
+ * legal widths are 1, 2, 4 and 8; the mobile kernel tier computes on
+ * int8/int16 elements, the float kernels on 4/8). The per-element
+ * loops below are the functional model's hot path — fast-forward
+ * executes whole vector programs through them — and a constant width
+ * turns every vecGet/vecSet memcpy into a single fixed-size load or
+ * store.
  */
 template <typename Body>
 inline void
 withEw(unsigned ew, Body &&body)
 {
-    if (ew == 4)
-        body(std::integral_constant<unsigned, 4>{});
-    else
-        body(std::integral_constant<unsigned, 8>{});
+    switch (ew) {
+      case 1: body(std::integral_constant<unsigned, 1>{}); break;
+      case 2: body(std::integral_constant<unsigned, 2>{}); break;
+      case 4: body(std::integral_constant<unsigned, 4>{}); break;
+      default: body(std::integral_constant<unsigned, 8>{}); break;
+    }
 }
 
 } // namespace
@@ -375,6 +379,42 @@ stepOne(ArchState &st, const Program &prog, BackingStore &mem)
                           truncTo(intBinOp(in.op, a, b), ew));
             }
         });
+        break;
+      }
+
+      // ----- vector width conversion ---------------------------------------
+      case Op::vzext2: case Op::vsext2: {
+        // vd[i] (2*ew) = extend(vs1[i] (ew)). Source elements are read
+        // into a buffer first: vd may alias vs1, and a dest element
+        // overlaps two narrower source elements.
+        unsigned sw = in.ew;
+        unsigned dw = 2 * sw;
+        bool sign = in.op == Op::vsext2;
+        std::vector<std::uint64_t> src(st.vl, 0);
+        for (unsigned i = 0; i < st.vl; ++i)
+            src[i] = sign ? std::uint64_t(st.vecGetS(in.rs1, i, sw))
+                          : st.vecGet(in.rs1, i, sw);
+        for (unsigned i = 0; i < st.vl; ++i)
+            if (st.active(in, i))
+                st.vecSet(in.rd, i, dw, truncTo(src[i], dw));
+        break;
+      }
+      case Op::vnclip2: {
+        // vd[i] (ew) = saturate(sext(vs1[i] (2*ew)) >> imm); Instr::sign
+        // selects signed (vnclip) or unsigned (vnclipu) saturation.
+        unsigned dw = in.ew;
+        unsigned sw = 2 * dw;
+        unsigned shamt = static_cast<unsigned>(in.imm) & 63;
+        std::int64_t lo = in.sign ? -(std::int64_t(1) << (8 * dw - 1)) : 0;
+        std::int64_t hi = in.sign ? (std::int64_t(1) << (8 * dw - 1)) - 1
+                                  : (std::int64_t(1) << (8 * dw)) - 1;
+        std::vector<std::int64_t> src(st.vl, 0);
+        for (unsigned i = 0; i < st.vl; ++i)
+            src[i] = st.vecGetS(in.rs1, i, sw) >> shamt;
+        for (unsigned i = 0; i < st.vl; ++i)
+            if (st.active(in, i))
+                st.vecSet(in.rd, i, dw, truncTo(
+                    std::uint64_t(std::min(hi, std::max(lo, src[i]))), dw));
         break;
       }
 

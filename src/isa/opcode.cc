@@ -110,6 +110,10 @@ const OpTraits traitsTable[] = {
     vecArith("vsll", FuClass::intAlu),
     vecArith("vsrl", FuClass::intAlu),
     vecArith("vsra", FuClass::intAlu),
+    // vector width conversion
+    vecArith("vzext2", FuClass::intAlu),
+    vecArith("vsext2", FuClass::intAlu),
+    vecArith("vnclip2", FuClass::intAlu),
     // vector floating point
     vecArith("vfadd", FuClass::fpAdd, true),
     vecArith("vfsub", FuClass::fpAdd, true),

@@ -54,6 +54,11 @@ enum class Op : std::uint8_t
     vadd, vsub, vmul, vdiv, vrem, vmin, vmax,
     vand, vor, vxor, vsll, vsrl, vsra,
 
+    // --- vector width conversion (source/dest width from Instr::ew) ---
+    vzext2,      ///< vd[i] (2*ew) = zext(vs1[i] (ew))
+    vsext2,      ///< vd[i] (2*ew) = sext(vs1[i] (ew))
+    vnclip2,     ///< vd[i] (ew) = sat(sext(vs1[i] (2*ew)) >> imm)
+
     // --- vector floating point ---
     vfadd, vfsub, vfmul, vfdiv, vfsqrt, vfmin, vfmax,
     vfmacc,      ///< vd += vs1 * vs2 (fused multiply-add)

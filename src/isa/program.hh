@@ -326,6 +326,52 @@ class Asm
         return emit(i);
     }
 
+    /** Widen: vd[i] (2*srcEw) = zero-extend(vs[i] (srcEw)). */
+    Asm &
+    vzext2(RegId vd, RegId vs, unsigned srcEw, bool masked = false)
+    {
+        Instr i;
+        i.op = Op::vzext2;
+        i.rd = vd;
+        i.rs1 = vs;
+        i.ew = static_cast<std::uint8_t>(srcEw);
+        i.masked = masked;
+        return emit(i);
+    }
+
+    /** Widen: vd[i] (2*srcEw) = sign-extend(vs[i] (srcEw)). */
+    Asm &
+    vsext2(RegId vd, RegId vs, unsigned srcEw, bool masked = false)
+    {
+        Instr i;
+        i.op = Op::vsext2;
+        i.rd = vd;
+        i.rs1 = vs;
+        i.ew = static_cast<std::uint8_t>(srcEw);
+        i.masked = masked;
+        return emit(i);
+    }
+
+    /**
+     * Narrow with saturation: vd[i] (dstEw) = sat(vs[i] (2*dstEw) >>
+     * shamt). @p sign selects signed (vnclip) vs unsigned (vnclipu)
+     * saturation bounds.
+     */
+    Asm &
+    vnclip2(RegId vd, RegId vs, unsigned shamt, unsigned dstEw,
+            bool sign = true, bool masked = false)
+    {
+        Instr i;
+        i.op = Op::vnclip2;
+        i.rd = vd;
+        i.rs1 = vs;
+        i.imm = static_cast<std::int64_t>(shamt);
+        i.ew = static_cast<std::uint8_t>(dstEw);
+        i.sign = sign;
+        i.masked = masked;
+        return emit(i);
+    }
+
     /** vd[i] = v0[i] ? xs : vfalse[i] (merge with scalar true side). */
     Asm &
     vmerge_vx(RegId vd, RegId xs, RegId vfalse)

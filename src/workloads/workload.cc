@@ -1,5 +1,7 @@
 #include "workloads/workload.hh"
 
+#include <set>
+
 #include "sim/logging.hh"
 
 namespace bvl
@@ -44,15 +46,45 @@ makeTaskParallelApps(Scale scale)
     return v;
 }
 
+namespace
+{
+
+/** Every registered factory, in suite order. */
+std::vector<WorkloadPtr>
+allWorkloads(Scale scale)
+{
+    std::vector<WorkloadPtr> v;
+    for (auto maker : {makeKernels, makeMobileApps, makeDataParallelApps,
+                       makeTaskParallelApps}) {
+        for (auto &w : maker(scale))
+            v.push_back(std::move(w));
+    }
+    checkUniqueNames(v);
+    return v;
+}
+
+} // namespace
+
+void
+checkUniqueNames(const std::vector<WorkloadPtr> &suite)
+{
+    std::set<std::string> seen;
+    for (const auto &w : suite) {
+        if (!seen.insert(w->name()).second) {
+            fatal("duplicate workload name '%s': two registered factories "
+                  "produce it; rename one (names key sweep journals, "
+                  "result caches and checkpoint farms)",
+                  w->name().c_str());
+        }
+    }
+}
+
 WorkloadPtr
 makeWorkload(const std::string &name, Scale scale)
 {
-    for (auto maker : {makeKernels, makeDataParallelApps,
-                       makeTaskParallelApps}) {
-        for (auto &w : maker(scale))
-            if (w->name() == name)
-                return std::move(w);
-    }
+    for (auto &w : allWorkloads(scale))
+        if (w->name() == name)
+            return std::move(w);
     return nullptr;
 }
 
@@ -60,11 +92,8 @@ std::vector<std::string>
 allWorkloadNames()
 {
     std::vector<std::string> names;
-    for (auto maker : {makeKernels, makeDataParallelApps,
-                       makeTaskParallelApps}) {
-        for (auto &w : maker(Scale::tiny))
-            names.push_back(w->name());
-    }
+    for (auto &w : allWorkloads(Scale::tiny))
+        names.push_back(w->name());
     return names;
 }
 

@@ -92,6 +92,22 @@ std::vector<WorkloadPtr> makeDataParallelApps(Scale scale);
 /** The 8 Ligra-style task-parallel graph applications. */
 std::vector<WorkloadPtr> makeTaskParallelApps(Scale scale);
 
+/**
+ * The Swan-style mobile kernel tier: integer IDCT, YCbCr->RGB,
+ * separable 2D convolution, quantized int8 GEMM, byte scanning
+ * (DESIGN.md §18).
+ */
+std::vector<WorkloadPtr> makeMobileApps(Scale scale);
+
+/**
+ * fatal() with a one-line actionable error if two workloads in
+ * @p suite share a name. Registration runs every factory through this
+ * so a colliding name fails loudly instead of silently shadowing the
+ * later workload (names key sweep journals, result caches and
+ * checkpoint farms).
+ */
+void checkUniqueNames(const std::vector<WorkloadPtr> &suite);
+
 /** One workload by name (nullptr if unknown). */
 WorkloadPtr makeWorkload(const std::string &name, Scale scale);
 

@@ -404,6 +404,88 @@ TEST_F(IsaTest, VectorElementsSurviveAcrossEw)
     EXPECT_EQ(st.vecGet(vreg(1), 0, 8), 0x0000000100000000ULL);
 }
 
+TEST_F(IsaTest, WidenOpsZeroAndSignExtend)
+{
+    const std::uint8_t bytes[] = {0x01, 0x7f, 0x80, 0xff};
+    for (unsigned i = 0; i < 4; ++i)
+        mem.writeT<std::uint8_t>(0x1000 + i, bytes[i]);
+    Asm a("t");
+    a.li(xreg(1), 4)
+     .vsetvli(xreg(2), xreg(1), 1)
+     .li(xreg(3), 0x1000)
+     .vle(vreg(1), xreg(3), 1)
+     .vzext2(vreg(2), vreg(1), 1)
+     .vsext2(vreg(3), vreg(1), 1)
+     .halt();
+    auto p = a.finish();
+    runFunctional(st, *p, mem);
+    const std::uint16_t zext[] = {0x0001, 0x007f, 0x0080, 0x00ff};
+    const std::uint16_t sext[] = {0x0001, 0x007f, 0xff80, 0xffff};
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(st.vecGet(vreg(2), i, 2), zext[i]) << i;
+        EXPECT_EQ(st.vecGet(vreg(3), i, 2), sext[i]) << i;
+    }
+}
+
+TEST_F(IsaTest, NarrowClipSaturatesSigned)
+{
+    const std::int16_t vals[] = {1000, -1000, 70, -70};
+    for (unsigned i = 0; i < 4; ++i)
+        mem.writeT<std::int16_t>(0x1000 + 2 * i, vals[i]);
+    Asm a("t");
+    a.li(xreg(1), 4)
+     .vsetvli(xreg(2), xreg(1), 2)
+     .li(xreg(3), 0x1000)
+     .vle(vreg(1), xreg(3), 2)
+     .vnclip2(vreg(2), vreg(1), 2, 1, true)   // sat8((v >> 2))
+     .halt();
+    auto p = a.finish();
+    runFunctional(st, *p, mem);
+    // 250 -> 127, -250 -> -128, 17 stays, -70>>2 arithmetic -> -18
+    const std::uint8_t want[] = {0x7f, 0x80, 17,
+                                 static_cast<std::uint8_t>(-18)};
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(st.vecGet(vreg(2), i, 1), want[i]) << i;
+}
+
+TEST_F(IsaTest, NarrowClipSaturatesUnsigned)
+{
+    const std::int16_t vals[] = {300, -5, 128, 255};
+    for (unsigned i = 0; i < 4; ++i)
+        mem.writeT<std::int16_t>(0x1000 + 2 * i, vals[i]);
+    Asm a("t");
+    a.li(xreg(1), 4)
+     .vsetvli(xreg(2), xreg(1), 2)
+     .li(xreg(3), 0x1000)
+     .vle(vreg(1), xreg(3), 2)
+     .vnclip2(vreg(2), vreg(1), 0, 1, false)  // clampU8, no shift
+     .halt();
+    auto p = a.finish();
+    runFunctional(st, *p, mem);
+    const std::uint8_t want[] = {255, 0, 128, 255};
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(st.vecGet(vreg(2), i, 1), want[i]) << i;
+}
+
+TEST_F(IsaTest, ByteElementLoadCompareScan)
+{
+    // memchr building block at ew=1: load bytes, compare-eq against
+    // zero, vfirst finds the first delimiter.
+    for (unsigned i = 0; i < 16; ++i)
+        mem.writeT<std::uint8_t>(0x1000 + i, i == 11 ? 0 : 0x41);
+    Asm a("t");
+    a.li(xreg(1), 16)
+     .vsetvli(xreg(2), xreg(1), 1)
+     .li(xreg(3), 0x1000)
+     .vle(vreg(1), xreg(3), 1)
+     .vi(Op::vmseq, vreg(2), vreg(1), 0)
+     .vfirst(xreg(4), vreg(2))
+     .halt();
+    auto p = a.finish();
+    runFunctional(st, *p, mem);
+    EXPECT_EQ(static_cast<std::int64_t>(st.getX(xreg(4))), 11);
+}
+
 class IsaVlenTest : public ::testing::TestWithParam<unsigned>
 {};
 
